@@ -1,0 +1,75 @@
+"""E10 — the introduction's phases/messages trade-off.
+
+Paper claim: for n much larger than t there is a solution with
+``t + 3 + t/α`` phases and ``O(αn)`` messages for ``1 ≤ α ≤ t`` —
+Algorithm 3 with chain sets of size ``s = ⌈t/α⌉``.  Sweeping α traces a
+frontier: more phases buy fewer messages.
+
+Algorithm 5's ``s`` sweep shows the same trade-off at the O(n + t²) end.
+"""
+
+import math
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def test_e10_algorithm3_alpha_frontier(benchmark):
+    def workload():
+        rows = []
+        t, n = 4, 200
+        for alpha in (1, 2, 4):
+            s = math.ceil(t / alpha)
+            algorithm = Algorithm3(n, t, s=s)
+            result = run(algorithm, 1, record_history=False)
+            assert check_byzantine_agreement(result).ok
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "s=⌈t/α⌉": s,
+                    "phases": algorithm.num_phases(),
+                    "messages": result.metrics.messages_by_correct,
+                    "αn scale": alpha * n,
+                    "msgs/αn": result.metrics.messages_by_correct / (alpha * n),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E10 — Algorithm 3 trade-off: phases vs messages over α", rows)
+    phases = [row["phases"] for row in rows]
+    messages = [row["messages"] for row in rows]
+    # larger α: fewer phases...
+    assert all(b <= a for a, b in zip(phases, phases[1:])), phases
+    # ...at larger message cost.
+    assert all(b >= a for a, b in zip(messages, messages[1:])), messages
+    # and the O(αn) scale holds with a uniform constant.
+    assert max(row["msgs/αn"] for row in rows) <= 8.0, rows
+
+
+def test_e10_algorithm5_s_frontier(benchmark):
+    def workload():
+        rows = []
+        t, n = 2, 120
+        for s in (1, 3, 7, 15):
+            algorithm = Algorithm5(n, t, s=s)
+            result = run(algorithm, 1, record_history=False)
+            assert check_byzantine_agreement(result).ok
+            rows.append(
+                {
+                    "s": s,
+                    "phases": algorithm.num_phases(),
+                    "messages": result.metrics.messages_by_correct,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E10 — Algorithm 5 trade-off: phases vs messages over s", rows)
+    phases = [row["phases"] for row in rows]
+    messages = [row["messages"] for row in rows]
+    assert all(b > a for a, b in zip(phases, phases[1:])), phases
+    assert all(b < a for a, b in zip(messages, messages[1:])), messages

@@ -1,0 +1,110 @@
+"""E11 — the paper's Section 1 comparison, regenerated.
+
+The introduction compares: the best unauthenticated algorithm (exponential
+OM(t) [14] as the runnable ancestor of [10]'s O(nt + t³)), the best
+authenticated algorithm [9] (O(nt + t²) messages), and the paper's new
+algorithms (O(n + t³) and O(n + t²)).
+
+Two shape claims are verified:
+
+* at moderate (n, t), Algorithm 3 already beats the [9]-style baselines,
+  which beat classic Dolev–Strong, which beats OM(t) — and Algorithm 5's
+  long messages carry far more signatures per message (the paper's remark
+  that beating Ω(nt) messages forces Ω(t)-signature messages);
+* Algorithm 5's *marginal* cost per additional processor undercuts the
+  active-set baseline's once ``2α/s < 2t + 1`` (t ≥ 7 with s = t) — the
+  asymptotic regime where O(n + t²) beats O(nt + t²).  The absolute
+  crossover point sits at larger n because of Algorithm 5's fixed
+  per-block gossip overhead; EXPERIMENTS.md discusses the constants.
+"""
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.algorithms.oral_messages import OralMessages
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def measure(algorithm):
+    result = run(algorithm, 1, record_history=False)
+    assert check_byzantine_agreement(result).ok
+    return result.metrics
+
+
+def test_e11_comparison_table(benchmark):
+    def workload():
+        t, n = 2, 120
+        contenders = [
+            ("oral-messages [14]", OralMessages(n, t)),
+            ("dolev-strong [9] classic", DolevStrong(n, t)),
+            ("active-set [9]", ActiveSetBroadcast(n, t)),
+            ("algorithm-3 (Thm 5)", Algorithm3(n, t)),
+            ("algorithm-5 (Thm 7)", Algorithm5(n, t)),
+        ]
+        rows = []
+        for name, algorithm in contenders:
+            metrics = measure(algorithm)
+            messages = metrics.messages_by_correct
+            rows.append(
+                {
+                    "algorithm": name,
+                    "n": n,
+                    "t": t,
+                    "phases": algorithm.num_phases(),
+                    "messages": messages,
+                    "signatures": metrics.signatures_by_correct,
+                    "sigs/msg": metrics.signatures_by_correct / max(1, messages),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E11 — Section 1 comparison at n = 120, t = 2", rows)
+    by_name = {row["algorithm"]: row["messages"] for row in rows}
+    assert by_name["algorithm-3 (Thm 5)"] < by_name["active-set [9]"]
+    assert by_name["active-set [9]"] < by_name["dolev-strong [9] classic"]
+    assert by_name["dolev-strong [9] classic"] < by_name["oral-messages [14]"]
+    # beating Ω(nt) messages needs Ω(t)-signature messages (Section 4):
+    density = {row["algorithm"]: row["sigs/msg"] for row in rows}
+    assert density["algorithm-5 (Thm 7)"] > density["active-set [9]"]
+
+
+def test_e11_marginal_cost_crossover(benchmark):
+    """Algorithm 5's per-processor slope vs the [9] baseline's at t = 8
+    (the first t where 2α/s < 2t + 1 comfortably holds with s = t)."""
+
+    def workload():
+        t = 8
+        points = {}
+        for n in (300, 700):
+            points[n] = {
+                "active-set": measure(ActiveSetBroadcast(n, t)).messages_by_correct,
+                "algorithm-5": measure(Algorithm5(n, t)).messages_by_correct,
+            }
+        span = 700 - 300
+        rows = []
+        for name in ("active-set", "algorithm-5"):
+            slope = (points[700][name] - points[300][name]) / span
+            rows.append(
+                {
+                    "algorithm": name,
+                    "msgs @ n=300": points[300][name],
+                    "msgs @ n=700": points[700][name],
+                    "marginal msgs per processor": slope,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E11 — marginal message cost per extra processor (t = 8)", rows)
+    slopes = {row["algorithm"]: row["marginal msgs per processor"] for row in rows}
+    # the paper's asymptotic claim, in measurable form: O(n + t²) grows
+    # strictly more slowly in n than O(nt + t²).
+    assert slopes["algorithm-5"] < slopes["active-set"], slopes
+    # and the theoretical slopes bracket the measured ones.
+    assert slopes["active-set"] >= 2 * 8 + 1 - 0.5
+    alpha = Algorithm5(300, 8).alpha
+    assert slopes["algorithm-5"] <= 2 * alpha / 8 + 4

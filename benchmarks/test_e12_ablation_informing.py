@@ -1,0 +1,133 @@
+"""E12 (ablation) — how to tell n − O(t) passive processors the value.
+
+Every algorithm past Section 4 is, at heart, a strategy for informing the
+passive majority after a small core has agreed.  This ablation isolates
+that design choice at fixed (n, t) and measures it fault-free and under
+faults aimed at each strategy's weak spot:
+
+* **direct fan-out** (active-set [9]): all 2t+1 actives tell everyone —
+  O(nt), completely insensitive to faults;
+* **proof fan-out** (Section 5's remedy): only t+1 actives send, but each
+  message carries a t+1-signature proof — O(n), also fault-insensitive;
+* **chain sets** (Algorithm 3): roots walk their sets sequentially —
+  O(n + tn/s) fault-free, paying 3t²s when roots are faulty;
+* **trees + proofs of work** (Algorithm 5): recursive activation —
+  O(t² + nt/s) with the faulty surcharge bounded by Lemma 4.
+
+The proof fan-out wins on raw message count — its cost is signature
+*volume* (every informing message carries ≥ t+1 signatures) and the fact
+that it needs the Algorithm 2 core (n = 2t+1 agreement) to exist at all;
+the paper's Algorithm 5 is what keeps O(n + t²) while letting signatures
+be spread over the tree walk.
+"""
+
+from benchmarks._harness import run_once, show
+from repro.adversary.standard import SilentAdversary
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.algorithms.informed import InformedAlgorithm2
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def measure(algorithm, adversary=None):
+    result = run(algorithm, 1, adversary, record_history=False)
+    assert check_byzantine_agreement(result).ok
+    return result.metrics
+
+
+def worst_faults(algorithm):
+    """Faults aimed at the informing structure: silent chain/tree roots
+    where such roots exist, silent actives otherwise."""
+    if isinstance(algorithm, Algorithm3):
+        return SilentAdversary([cs.root for cs in algorithm.sets[: algorithm.t]])
+    if isinstance(algorithm, Algorithm5):
+        return SilentAdversary(
+            [tree.root() for tree in algorithm.forest.trees[: algorithm.t]]
+        )
+    return SilentAdversary(list(range(1, algorithm.t + 1)))
+
+
+def test_e12_informing_strategies(benchmark):
+    def workload():
+        n, t = 120, 3
+        strategies = [
+            ("direct fan-out (active-set)", lambda: ActiveSetBroadcast(n, t)),
+            ("proof fan-out (informed-A2)", lambda: InformedAlgorithm2(n, t)),
+            ("chain sets (algorithm-3)", lambda: Algorithm3(n, t, s=4 * t)),
+            ("trees (algorithm-5)", lambda: Algorithm5(n, t, s=t)),
+        ]
+        rows = []
+        for name, factory in strategies:
+            clean = measure(factory())
+            faulty = measure(factory(), worst_faults(factory()))
+            rows.append(
+                {
+                    "strategy": name,
+                    "phases": factory().num_phases(),
+                    "msgs clean": clean.messages_by_correct,
+                    "msgs faulty": faulty.messages_by_correct,
+                    "fault surcharge": faulty.messages_by_correct
+                    - clean.messages_by_correct,
+                    "sigs clean": clean.signatures_by_correct,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E12 (ablation) — informing the passive processors (n=120, t=3)", rows)
+    by_name = {row["strategy"]: row for row in rows}
+
+    # the proof fan-out undercuts the direct fan-out by roughly (2t+1)/(t+1):
+    direct = by_name["direct fan-out (active-set)"]
+    proof = by_name["proof fan-out (informed-A2)"]
+    assert proof["msgs clean"] < direct["msgs clean"]
+
+    # chains beat both fan-outs fault-free but pay a surcharge under
+    # faulty roots; the fan-outs' surcharge is non-positive (silent
+    # actives send nothing).
+    chains = by_name["chain sets (algorithm-3)"]
+    assert chains["msgs clean"] < proof["msgs clean"]
+    assert chains["fault surcharge"] > 0
+    assert direct["fault surcharge"] <= 0
+
+    # signature volume tells the opposite story: proof fan-out's messages
+    # are the heaviest per message among the fan-outs.
+    assert proof["sigs clean"] > direct["sigs clean"]
+
+
+def test_e12_core_cost_vs_informing_cost(benchmark):
+    """Split Algorithm 3's bill into core (first t+2+… phases) and
+    informing (the rest): the core is O(t²) and the informing dominates —
+    which is why the paper's lower-bound story is about informing."""
+
+    def workload():
+        t = 3
+        rows = []
+        for n in (40, 120, 360):
+            algorithm = Algorithm3(n, t, s=4 * t)
+            result = run(algorithm, 1, record_history=False)
+            assert check_byzantine_agreement(result).ok
+            core_phases = range(1, t + 3)
+            core = sum(
+                result.metrics.messages_per_phase[p] for p in core_phases
+            )
+            total = result.metrics.messages_by_correct
+            rows.append(
+                {
+                    "n": n,
+                    "core msgs (phases 1..t+2)": core,
+                    "informing msgs": total - core,
+                    "total": total,
+                    "informing share": (total - core) / total,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E12 (ablation) — core vs informing cost (Algorithm 3, t=3)", rows)
+    cores = [row["core msgs (phases 1..t+2)"] for row in rows]
+    assert len(set(cores)) == 1, cores  # core cost independent of n
+    shares = [row["informing share"] for row in rows]
+    assert all(b > a for a, b in zip(shares, shares[1:])), shares

@@ -1,0 +1,119 @@
+"""E14 — phase complexity across the algorithms.
+
+The paper's other cost axis.  Known bounds: ``t + 1`` phases is optimal
+for any BA algorithm (Fischer–Lynch [11], cited in Section 1); the paper's
+algorithms deliberately spend extra phases to save messages.
+
+This benchmark verifies every implementation's phase count against its
+declared formula, confirms no correct processor ever sends after the last
+declared phase (the runner would count it), and regenerates the
+phases-vs-messages landscape the introduction describes.
+"""
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm2 import Algorithm2
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.algorithms.informed import InformedAlgorithm2
+from repro.algorithms.oral_messages import OralMessages
+from repro.bounds import formulas
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def test_e14_phase_formula_table(benchmark):
+    def workload():
+        t = 3
+        n = 20
+        cases = [
+            ("oral-messages", OralMessages(n, t), t + 1, "t+1 (optimal [11])"),
+            ("dolev-strong", DolevStrong(n, t), t + 1, "t+1 (optimal [11])"),
+            ("active-set", ActiveSetBroadcast(n, t), t + 2, "t+2"),
+            ("algorithm-1", Algorithm1(2 * t + 1, t), formulas.theorem3_phases(t), "t+2"),
+            ("algorithm-2", Algorithm2(2 * t + 1, t), formulas.theorem4_phases(t), "3t+3"),
+            ("informed-A2", InformedAlgorithm2(n, t), 3 * t + 4, "3t+4"),
+            (
+                "algorithm-3",
+                Algorithm3(n, t, s=4),
+                formulas.lemma1_phases(t, 4),
+                "t+2s+3",
+            ),
+            (
+                # n > α so the tree blocks actually exist (at n = α the
+                # schedule collapses to 3t+5 phases).
+                "algorithm-5",
+                Algorithm5(40, t, s=3),
+                formulas.our_algorithm5_phase_bound(t, 3),
+                "~3t+4s (Lemma 5: 3t+4s+2)",
+            ),
+        ]
+        rows = []
+        for name, algorithm, expected, formula in cases:
+            result = run(algorithm, 1, record_history=False)
+            assert check_byzantine_agreement(result).ok
+            rows.append(
+                {
+                    "algorithm": name,
+                    "declared phases": algorithm.num_phases(),
+                    "expected": expected,
+                    "formula": formula,
+                    "last active phase": result.metrics.last_active_phase,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E14 — phase complexity (t = 3)", rows)
+    for row in rows:
+        assert row["declared phases"] == row["expected"], row
+        assert row["last active phase"] <= row["declared phases"], row
+
+
+def test_e14_phase_message_landscape(benchmark):
+    """The introduction's landscape: phase-optimal algorithms pay in
+    messages; message-optimal algorithms pay in phases — no algorithm in
+    the table wins both axes (the trade-off is real)."""
+
+    def workload():
+        t, n = 2, 60
+        rows = []
+        for name, algorithm in (
+            ("dolev-strong", DolevStrong(n, t)),
+            ("active-set", ActiveSetBroadcast(n, t)),
+            ("informed-A2", InformedAlgorithm2(n, t)),
+            ("algorithm-3 s=4t", Algorithm3(n, t)),
+            ("algorithm-5 s=t", Algorithm5(n, t)),
+            ("algorithm-5 s=7", Algorithm5(n, t, s=7)),
+        ):
+            result = run(algorithm, 1, record_history=False)
+            assert check_byzantine_agreement(result).ok
+            rows.append(
+                {
+                    "algorithm": name,
+                    "phases": algorithm.num_phases(),
+                    "messages": result.metrics.messages_by_correct,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E14 — the phases/messages landscape (n = 60, t = 2)", rows)
+    # Pareto check: nobody dominates everybody on both axes.
+    for row in rows:
+        dominated_by_all = all(
+            other is row
+            or (
+                other["phases"] <= row["phases"]
+                and other["messages"] <= row["messages"]
+            )
+            for other in rows
+        )
+        assert not dominated_by_all or row is min(
+            rows, key=lambda r: (r["phases"], r["messages"])
+        )
+    fastest = min(rows, key=lambda r: r["phases"])
+    leanest = min(rows, key=lambda r: r["messages"])
+    assert fastest is not leanest

@@ -1,0 +1,69 @@
+"""E15 — breadth evidence for the upper bounds: adversary probing.
+
+The hand-built worst cases (E4–E9) are each one scenario; this experiment
+probes every algorithm with a structured family of adversaries — dozens of
+fault placements × four behaviours × both values — and checks that
+
+* agreement holds in every probed scenario, and
+* no probed scenario exceeds the paper's message bound.
+
+The costliest scenario found per algorithm is reported; for Algorithm 1
+it must be the fault-free value-1 history (Theorem 3's bound is tight
+there), while for Algorithm 3 it must be an *adversarial* scenario (the
+3t²s faulty-root term of Lemma 1 is real).
+"""
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm2 import Algorithm2
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.analysis.search import worst_case_probe
+
+CASES = [
+    ("algorithm-1", lambda: Algorithm1(7, 3)),
+    ("algorithm-2", lambda: Algorithm2(7, 3)),
+    ("active-set", lambda: ActiveSetBroadcast(14, 2)),
+    ("algorithm-3", lambda: Algorithm3(16, 2, s=3)),
+    ("algorithm-5", lambda: Algorithm5(24, 2, s=3)),
+]
+
+
+def test_e15_probe_every_algorithm(benchmark):
+    def workload():
+        rows = []
+        for name, factory in CASES:
+            worst, results = worst_case_probe(factory, samples=8, seed=42)
+            bound = factory().upper_bound_messages()
+            fault_free = max(
+                r.messages for r in results if r.adversary == "fault-free"
+            )
+            rows.append(
+                {
+                    "algorithm": name,
+                    "scenarios probed": len(results),
+                    "worst messages": worst.messages,
+                    "paper bound": bound,
+                    "fault-free worst": fault_free,
+                    "worst adversary": worst.adversary[:32],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E15 — worst-case probing (agreement held in every scenario)", rows)
+    for row in rows:
+        assert row["worst messages"] <= row["paper bound"], row
+    by_name = {row["algorithm"]: row for row in rows}
+    # Theorem 3 is tight at the fault-free value-1 history:
+    assert by_name["algorithm-1"]["worst adversary"] == "fault-free"
+    assert (
+        by_name["algorithm-1"]["worst messages"]
+        == by_name["algorithm-1"]["fault-free worst"]
+    )
+    # Lemma 1's faulty surcharge is real:
+    assert (
+        by_name["algorithm-3"]["worst messages"]
+        > by_name["algorithm-3"]["fault-free worst"]
+    )

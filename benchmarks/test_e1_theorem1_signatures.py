@@ -1,0 +1,83 @@
+"""E1 — Theorem 1: the Ω(nt) signature lower bound.
+
+Paper claim: any authenticated BA algorithm has a fault-free history in
+which correct processors send ≥ n(t+1)/4 signatures; equivalently, no
+processor may exchange fewer than t+1 signatures across the fault-free
+histories H and G — otherwise the splitting adversary breaks agreement.
+
+Measured here: per-processor signature-exchange minima and two-history
+signature totals for every authenticated algorithm, plus the executed
+splitting attack against the under-signing strawman.
+"""
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm2 import Algorithm2
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.cheap_strawman import UnderSigningBroadcast
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.bounds.theorem1 import theorem1_experiment
+
+CASES = [
+    ("dolev-strong", lambda t: DolevStrong(4 * t + 2, t)),
+    ("active-set", lambda t: ActiveSetBroadcast(4 * t + 2, t)),
+    ("algorithm-1", lambda t: Algorithm1(2 * t + 1, t)),
+    ("algorithm-2", lambda t: Algorithm2(2 * t + 1, t)),
+    ("algorithm-3", lambda t: Algorithm3(4 * t + 2, t, s=2 * t)),
+]
+
+
+def test_e1_signature_budgets(benchmark):
+    def workload():
+        rows = []
+        for name, factory in CASES:
+            for t in (1, 2, 3):
+                report = theorem1_experiment(lambda: factory(t))
+                rows.append(
+                    {
+                        "algorithm": name,
+                        "n": report.n,
+                        "t": report.t,
+                        "min |A(p)|": report.min_exchange,
+                        "required": report.t + 1,
+                        "sigs H+G": report.signatures_h + report.signatures_g,
+                        "bound n(t+1)/4": float(report.bound),
+                        "splittable": bool(report.weak_processors),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E1 / Theorem 1 — signature exchange vs the Ω(nt) bound", rows)
+    for row in rows:
+        assert row["min |A(p)|"] >= row["required"], row
+        assert row["sigs H+G"] >= row["bound n(t+1)/4"], row
+        assert not row["splittable"], row
+
+
+def test_e1_splitting_attack_on_strawman(benchmark):
+    def workload():
+        rows = []
+        for n, t in [(4, 1), (6, 2), (8, 3), (10, 4)]:
+            report = theorem1_experiment(lambda: UnderSigningBroadcast(n, t))
+            attack = report.attack
+            rows.append(
+                {
+                    "n": n,
+                    "t": t,
+                    "weak processors": len(report.weak_processors),
+                    "target": attack.target,
+                    "view == pH": attack.target_view_matches_h,
+                    "target decided": attack.target_decision,
+                    "others decided": sorted(set(attack.other_decisions.values())),
+                    "agreement broken": attack.agreement_violated,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E1 / Theorem 1 — splitting adversary vs the under-signing strawman", rows)
+    for row in rows:
+        assert row["view == pH"], row
+        assert row["agreement broken"], row

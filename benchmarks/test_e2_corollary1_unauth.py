@@ -1,0 +1,69 @@
+"""E2 — Corollary 1: the unauthenticated message lower bound.
+
+Paper claim: without authentication, n(t+1)/4 is a lower bound on the
+number of *messages* (every message is worth exactly one signature — the
+sender's implicit one).  The OM(t) baseline respects it with enormous room
+to spare (exponential growth), which is the gap the paper's discussion of
+[10] addresses: O(nt + t³) is optimal within a constant for n > t².
+"""
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.oral_messages import OralMessages
+from repro.bounds.formulas import corollary1_message_lower_bound
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def test_e2_unauthenticated_message_counts(benchmark):
+    def workload():
+        rows = []
+        for t in (1, 2, 3):
+            n = 3 * t + 1
+            algorithm = OralMessages(n, t)
+            result = run(algorithm, 1)
+            assert check_byzantine_agreement(result).ok
+            rows.append(
+                {
+                    "n": n,
+                    "t": t,
+                    "messages": result.metrics.messages_by_correct,
+                    "lower bound n(t+1)/4": float(corollary1_message_lower_bound(n, t)),
+                    "closed form": algorithm.upper_bound_messages(),
+                    "signatures": result.metrics.signatures_by_correct,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E2 / Corollary 1 — OM(t) messages vs the unauthenticated bound", rows)
+    for row in rows:
+        assert row["messages"] >= row["lower bound n(t+1)/4"], row
+        assert row["messages"] == row["closed form"], row
+        assert row["signatures"] == 0, row
+
+
+def test_e2_exponential_vs_polynomial_gap(benchmark):
+    """The shape claim behind citing [10]: OM(t)'s count explodes while the
+    nt + t³ scale (the best unauthenticated bound) stays polynomial."""
+
+    def workload():
+        rows = []
+        for t in (1, 2, 3, 4):
+            n = 3 * t + 1
+            om = OralMessages(n, t).upper_bound_messages()
+            polynomial_scale = n * t + t**3
+            rows.append(
+                {
+                    "t": t,
+                    "n": n,
+                    "OM(t) messages": om,
+                    "nt + t^3 scale": polynomial_scale,
+                    "ratio": om / polynomial_scale,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E2 — exponential OM(t) vs the polynomial optimum of [10]", rows)
+    ratios = [row["ratio"] for row in rows]
+    assert all(b > a for a, b in zip(ratios, ratios[1:])), ratios

@@ -1,0 +1,87 @@
+"""E3 — Theorem 2: the Ω(n + t²) message lower bound.
+
+Paper claim: some history forces correct processors to send at least
+max{(n−1)/2, (1+t/2)²} messages.  The proof's B-set history H' forces
+every B member to *receive* ≥ ⌈1+t/2⌉ messages from correct processors.
+
+Measured here: fault-free message counts vs the combined bound; per-B-
+member received counts under the ignore-first adversary; and the executed
+switch attack against the strawman.
+"""
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.algorithms.cheap_strawman import UnderSigningBroadcast
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.bounds.theorem2 import theorem2_experiment
+
+CASES = [
+    ("dolev-strong", lambda: DolevStrong(10, 3)),
+    ("active-set", lambda: ActiveSetBroadcast(16, 3)),
+    ("algorithm-1", lambda: Algorithm1(7, 3)),
+    ("algorithm-1", lambda: Algorithm1(9, 4)),
+    ("algorithm-3", lambda: Algorithm3(20, 3, s=4)),
+    ("algorithm-5", lambda: Algorithm5(25, 3, s=3)),
+]
+
+
+def test_e3_message_bound_and_b_set_feeding(benchmark):
+    def workload():
+        rows = []
+        for name, factory in CASES:
+            report = theorem2_experiment(factory)
+            rows.append(
+                {
+                    "algorithm": name,
+                    "n": report.n,
+                    "t": report.t,
+                    "fault-free msgs": report.fault_free_messages,
+                    "bound": report.bound,
+                    "B": list(report.b_set),
+                    "min fed": report.min_received,
+                    "required": report.per_member_requirement,
+                    "H' agrees": report.hprime_agreement_ok,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E3 / Theorem 2 — messages vs the Ω(n + t²) bound", rows)
+    for row in rows:
+        assert row["fault-free msgs"] >= row["bound"], row
+        assert row["min fed"] >= row["required"], row
+        assert row["H' agrees"], row
+
+
+def test_e3_switch_attack_on_strawman(benchmark):
+    def workload():
+        rows = []
+        for n, t in [(8, 2), (10, 3), (14, 4)]:
+            report = theorem2_experiment(lambda: UnderSigningBroadcast(n, t))
+            attack = report.attack
+            rows.append(
+                {
+                    "n": n,
+                    "t": t,
+                    "B fed": report.min_received,
+                    "required": report.per_member_requirement,
+                    "target": attack.target,
+                    "target received": attack.target_messages_received,
+                    "target decided": attack.target_decision,
+                    "others decided": sorted(set(attack.other_decisions.values())),
+                    "agreement broken": attack.agreement_violated,
+                    "|faulty|": len(attack.faulty),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E3 / Theorem 2 — starve-and-switch attack on the strawman", rows)
+    for row in rows:
+        assert row["B fed"] < row["required"], row
+        assert row["target received"] == 0, row
+        assert row["agreement broken"], row
+        assert row["|faulty|"] <= row["t"], row

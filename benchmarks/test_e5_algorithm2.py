@@ -1,0 +1,86 @@
+"""E5 — Theorem 4: Algorithm 2 and the transferable proof.
+
+Paper claim: 3t+3 phases, at most 5t² + 5t messages, and afterwards every
+correct processor holds the common value with ≥ t signatures of other
+processors appended — while no message with t+1 signatures can exist for
+any other value.
+"""
+
+from benchmarks._harness import run_once, show
+from repro.adversary.standard import EquivocatingTransmitter, SilentAdversary
+from repro.algorithms.algorithm2 import Algorithm2
+from repro.bounds.formulas import theorem4_message_upper_bound, theorem4_phases
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def test_e5_message_and_proof_table(benchmark):
+    def workload():
+        rows = []
+        for t in range(1, 7):
+            n = 2 * t + 1
+            for value in (0, 1):
+                result = run(Algorithm2(n, t), value)
+                assert check_byzantine_agreement(result).ok
+                proofs = sum(
+                    1 for p in result.processors.values() if p.has_agreement_proof()
+                )
+                rows.append(
+                    {
+                        "t": t,
+                        "n": n,
+                        "value": value,
+                        "messages": result.metrics.messages_by_correct,
+                        "bound 5t²+5t": theorem4_message_upper_bound(t),
+                        "phases": theorem4_phases(t),
+                        "proofs": f"{proofs}/{n}",
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E5 / Theorem 4 — Algorithm 2 messages and proof possession", rows)
+    for row in rows:
+        assert row["messages"] <= row["bound 5t²+5t"], row
+        if row["value"] == 1:
+            assert row["messages"] == row["bound 5t²+5t"], row
+        n = row["n"]
+        assert row["proofs"] == f"{n}/{n}", row
+
+
+def test_e5_proofs_survive_adversaries(benchmark):
+    def workload():
+        rows = []
+        for t in (2, 3):
+            n = 2 * t + 1
+            adversaries = [
+                ("silent-B", SilentAdversary(list(range(t + 1, n))), 1),
+                (
+                    "equivocate",
+                    EquivocatingTransmitter(0, {q: (1 if q <= t else 0) for q in range(1, n)}),
+                    0,
+                ),
+            ]
+            for name, adversary, value in adversaries:
+                result = run(Algorithm2(n, t), value, adversary)
+                report = check_byzantine_agreement(result)
+                proofs = all(
+                    p.has_agreement_proof() for p in result.processors.values()
+                )
+                rows.append(
+                    {
+                        "t": t,
+                        "adversary": name,
+                        "agreement": report.ok,
+                        "all correct hold proofs": proofs,
+                        "messages": result.metrics.messages_by_correct,
+                        "bound": theorem4_message_upper_bound(t),
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E5 / Theorem 4 — proof possession under adversaries", rows)
+    for row in rows:
+        assert row["agreement"] and row["all correct hold proofs"], row
+        assert row["messages"] <= row["bound"], row

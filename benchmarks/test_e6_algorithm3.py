@@ -1,0 +1,52 @@
+"""E6 — Lemma 1: Algorithm 3's 2n + 4tn/s + 3t²s message bound.
+
+Paper claim: Algorithm 3 with chain sets of size s reaches BA in t+2s+3
+phases with at most 2n + 4tn/s + 3t²s messages, including under its worst
+case — faulty chain-set roots forcing the actives' direct deliveries.
+"""
+
+from benchmarks._harness import run_once, show
+from repro.adversary.standard import SilentAdversary
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.bounds.formulas import lemma1_message_upper_bound, lemma1_phases
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def faulty_roots(algorithm: Algorithm3) -> SilentAdversary:
+    """The worst case of Lemma 1's accounting: silent roots, up to t."""
+    roots = [cs.root for cs in algorithm.sets[: algorithm.t]]
+    return SilentAdversary(roots)
+
+
+def test_e6_lemma1_sweep(benchmark):
+    def workload():
+        rows = []
+        for t in (1, 2, 3):
+            for n in (4 * t + 2, 8 * t + 1, 40):
+                if n < 2 * t + 1:
+                    continue
+                for s in sorted({1, 2, t + 1, 2 * t}):
+                    algorithm = Algorithm3(n, t, s=s)
+                    fault_free = run(algorithm, 1)
+                    assert check_byzantine_agreement(fault_free).ok
+                    adversarial = run(Algorithm3(n, t, s=s), 1, faulty_roots(algorithm))
+                    assert check_byzantine_agreement(adversarial).ok
+                    rows.append(
+                        {
+                            "n": n,
+                            "t": t,
+                            "s": s,
+                            "msgs fault-free": fault_free.metrics.messages_by_correct,
+                            "msgs faulty-roots": adversarial.metrics.messages_by_correct,
+                            "bound 2n+4tn/s+3t²s": lemma1_message_upper_bound(n, t, s),
+                            "phases": lemma1_phases(t, min(s, max(1, n - 2 * t - 1))),
+                        }
+                    )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E6 / Lemma 1 — Algorithm 3 message sweep", rows)
+    for row in rows:
+        assert row["msgs fault-free"] <= row["bound 2n+4tn/s+3t²s"], row
+        assert row["msgs faulty-roots"] <= row["bound 2n+4tn/s+3t²s"], row

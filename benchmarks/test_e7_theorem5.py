@@ -1,0 +1,45 @@
+"""E7 — Theorem 5: Algorithm 3 with s = 4t sends O(n + t³) messages.
+
+Measured here: messages / (n + t³) stays bounded by a fixed constant as n
+grows — the honest empirical reading of an O-bound — and the count is
+*linear in n* for fixed t (the paper's headline for n ≥ t³).
+"""
+
+from benchmarks._harness import run_once, show
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def test_e7_linear_in_n(benchmark):
+    def workload():
+        rows = []
+        for t in (1, 2):
+            for n in (20, 60, 120, 240):
+                algorithm = Algorithm3(n, t)  # default s = 4t (Theorem 5)
+                result = run(algorithm, 1, record_history=False)
+                assert check_byzantine_agreement(result).ok
+                scale = n + t**3
+                rows.append(
+                    {
+                        "t": t,
+                        "n": n,
+                        "s=4t": algorithm.s,
+                        "messages": result.metrics.messages_by_correct,
+                        "n + t³": scale,
+                        "ratio": result.metrics.messages_by_correct / scale,
+                    }
+                )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    show("E7 / Theorem 5 — Algorithm 3 at s = 4t is O(n + t³)", rows)
+    assert max(row["ratio"] for row in rows) <= 8.0, rows
+    # linearity: per-processor marginal cost is constant in n for fixed t.
+    for t in (1, 2):
+        series = [row for row in rows if row["t"] == t]
+        marginal = [
+            (b["messages"] - a["messages"]) / (b["n"] - a["n"])
+            for a, b in zip(series, series[1:])
+        ]
+        assert max(marginal) - min(marginal) <= 2.0, marginal

@@ -1,0 +1,126 @@
+"""repro — a reproduction of Dolev & Reischuk,
+*Bounds on Information Exchange for Byzantine Agreement* (PODC 1982 /
+JACM 32(1), 1985).
+
+The library contains, built from scratch:
+
+* a lock-step synchronous simulator implementing the paper's formal model
+  of phases, histories and individual subhistories (:mod:`repro.core`);
+* a registry-oracle signature scheme with the exact properties the proofs
+  assume — unforgeability plus collusion (:mod:`repro.crypto`);
+* the paper's Algorithms 1–5 and the published baselines — Dolev–Strong
+  (classic and active-set) and oral messages OM(t)
+  (:mod:`repro.algorithms`);
+* an adversary framework including the lower-bound proofs' constructions
+  (:mod:`repro.adversary`);
+* **executable versions of Theorems 1 and 2** — the splitting and
+  starve-and-switch adversaries actually break under-communicating
+  algorithms (:mod:`repro.bounds`);
+* sweep/report tooling that regenerates every bound table
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import Algorithm5, run, check_byzantine_agreement
+
+    algorithm = Algorithm5(n=100, t=3)      # O(n + t^2) messages
+    result = run(algorithm, input_value=1)
+    assert check_byzantine_agreement(result).ok
+    print(result.metrics.messages_by_correct, "messages")
+"""
+
+# repro.core must initialise before repro.adversary: the runner (part of
+# core) depends on the adversary interface, so core's __init__ drives that
+# import chain in the order that avoids a cycle.
+from repro.core import (
+    AgreementAlgorithm,
+    ConfigurationError,
+    Context,
+    Envelope,
+    History,
+    MetricsLedger,
+    Processor,
+    ReproError,
+    RunResult,
+    ValidationReport,
+    check_byzantine_agreement,
+    require_agreement,
+    run,
+)
+from repro.adversary import (
+    Adversary,
+    CrashAdversary,
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    IgnoreFirstAdversary,
+    NullAdversary,
+    ReplayAdversary,
+    ScriptedAdversary,
+    SelectiveSilenceAdversary,
+    SilentAdversary,
+    SimulatingAdversary,
+)
+from repro.algorithms import (
+    ALGORITHMS,
+    ActiveSetBroadcast,
+    Algorithm1,
+    Algorithm2,
+    Algorithm3,
+    Algorithm4,
+    Algorithm5,
+    DolevStrong,
+    OralMessages,
+    check_lemma2,
+)
+from repro.bounds import (
+    formulas,
+    theorem1_experiment,
+    theorem2_experiment,
+)
+from repro.crypto import Signature, SignatureChain, SignatureService
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ActiveSetBroadcast",
+    "Adversary",
+    "AgreementAlgorithm",
+    "Algorithm1",
+    "Algorithm2",
+    "Algorithm3",
+    "Algorithm4",
+    "Algorithm5",
+    "ConfigurationError",
+    "Context",
+    "CrashAdversary",
+    "DolevStrong",
+    "Envelope",
+    "EquivocatingTransmitter",
+    "GarbageAdversary",
+    "History",
+    "IgnoreFirstAdversary",
+    "MetricsLedger",
+    "NullAdversary",
+    "OralMessages",
+    "Processor",
+    "ReplayAdversary",
+    "ReproError",
+    "RunResult",
+    "ScriptedAdversary",
+    "SelectiveSilenceAdversary",
+    "Signature",
+    "SignatureChain",
+    "SignatureService",
+    "SilentAdversary",
+    "SimulatingAdversary",
+    "ValidationReport",
+    "check_byzantine_agreement",
+    "check_lemma2",
+    "formulas",
+    "require_agreement",
+    "run",
+    "theorem1_experiment",
+    "theorem2_experiment",
+    "__version__",
+]

@@ -1,0 +1,192 @@
+"""Algorithm 2 of the paper: Algorithm 1 plus a transferable proof.
+
+After running Algorithm 1 (phases ``1 .. t+2``) the ``2t + 1`` processors
+``p(1), ..., p(2t+1)`` (here: ``p(j)`` is processor ``j - 1``) spend
+``2t + 1`` further phases circulating *increasing messages* so that, by
+phase ``3t + 3``, **every correct processor possesses the common value with
+at least t signatures of other processors appended** — a one-message proof
+for the outside world.  No processor (faulty ones included) can assemble
+such a proof for any other value, because correct processors only ever sign
+their committed value and only ``t < t + 1`` signers can be faulty.
+
+A message received by ``p(j)`` after phase ``t + 2`` is *increasing* if it
+consists of the value ``p(j)`` committed to in phase ``t + 2`` together
+with signatures of processors with labels **less than j in increasing
+order**.
+
+Phase ``t + 2 + j`` (``1 ≤ j ≤ 2t + 1``): ``p(j)`` takes ``m(j)``, an
+increasing message it received with the maximum number of signatures (just
+the bare committed value if it received none), signs it, and
+
+* if ``m(j)`` already carried at least ``t`` signatures — sends it to every
+  other processor;
+* otherwise — sends it only to the processors with labels ``j+1 .. j+t+1``
+  (labels beyond ``2t + 1`` simply do not exist; see DESIGN.md §5.1).
+
+Theorem 4: ``3t + 3`` phases and at most ``5t² + 5t`` messages.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algorithms.algorithm1 import (
+    Algorithm1,
+    Algorithm1Processor,
+    Algorithm1Transmitter,
+)
+from repro.core.message import Envelope, Outgoing
+from repro.core.types import ProcessorId, Value
+from repro.crypto.chains import SignatureChain
+
+
+class IncreasingMessageMixin:
+    """The post-phase-``t+2`` behaviour shared by all Algorithm 2 roles.
+
+    Mixed into both the transmitter and the ``A``/``B`` relay processors;
+    hosts expose their Algorithm 1 commitment via :meth:`committed_value`.
+    """
+
+    def _init_increasing(self) -> None:
+        #: increasing messages addressed to us that we may relay.
+        self._relay_candidates: list[SignatureChain] = []
+        #: the best proof-of-agreement chain seen so far (any valid chain on
+        #: our committed value, regardless of our own label).
+        self.best_proof: SignatureChain | None = None
+
+    # Hosts override.
+    def committed_value(self) -> Value | None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def label(self) -> int:
+        """The paper's 1-based label ``j`` of this processor."""
+        return self.ctx.pid + 1
+
+    # ------------------------------------------------------------ collection
+
+    def _proof_strength(self, chain: SignatureChain) -> int:
+        """Signatures of processors other than ourselves."""
+        return sum(1 for s in chain.signers if s != self.ctx.pid)
+
+    def _collect_increasing(self, inbox: Sequence[Envelope]) -> None:
+        committed = self.committed_value()
+        for envelope in inbox:
+            chain = envelope.payload
+            if not isinstance(chain, SignatureChain) or len(chain) < 1:
+                continue
+            if chain.value != committed or not chain.verify(self.ctx.service):
+                continue
+            signers = chain.signers
+            increasing = all(a < b for a, b in zip(signers, signers[1:]))
+            if not increasing:
+                continue
+            self._note_proof(chain)
+            if all(s + 1 < self.label for s in signers):
+                self._relay_candidates.append(chain)
+
+    def _note_proof(self, chain: SignatureChain) -> None:
+        if self.best_proof is None or self._proof_strength(chain) > self._proof_strength(
+            self.best_proof
+        ):
+            self.best_proof = chain
+
+    def has_agreement_proof(self) -> bool:
+        """Theorem 4's postcondition: the common value with at least ``t``
+        signatures of *other* processors appended."""
+        return (
+            self.best_proof is not None
+            and self._proof_strength(self.best_proof) >= self.ctx.t
+        )
+
+    # -------------------------------------------------------------- emission
+
+    def _emit_increasing(self) -> list[Outgoing]:
+        """The sends of phase ``t + 2 + j`` (our own label's phase)."""
+        committed = self.committed_value()
+        best = max(self._relay_candidates, key=len, default=SignatureChain(committed))
+        carried = len(best)
+        signed = best.extend(self.ctx.key, self.ctx.service)
+        self._note_proof(signed)
+        if carried >= self.ctx.t:
+            targets = self.ctx.others()
+        else:
+            targets = [
+                q
+                for q in range(self.ctx.pid + 1, self.ctx.pid + self.ctx.t + 2)
+                if q < self.ctx.n
+            ]
+        return [(q, signed) for q in targets]
+
+    def _increasing_phase(
+        self, phase: int, inbox: Sequence[Envelope]
+    ) -> list[Outgoing]:
+        """Dispatch for every phase after ``t + 2``."""
+        self._collect_increasing(inbox)
+        if phase == self.ctx.t + 2 + self.label:
+            return self._emit_increasing()
+        return []
+
+
+class Algorithm2Processor(IncreasingMessageMixin, Algorithm1Processor):
+    """An ``A``/``B`` processor: Algorithm 1, then increasing messages."""
+
+    def on_bind(self) -> None:
+        self._init_increasing()
+
+    def committed_value(self) -> Value:
+        return Algorithm1Processor.decision(self)
+
+    def on_phase(self, phase: int, inbox: Sequence[Envelope]) -> Iterable[Outgoing]:
+        if phase <= self.ctx.t + 2:
+            return Algorithm1Processor.on_phase(self, phase, inbox)
+        if phase == self.ctx.t + 3:
+            # the last Algorithm 1 messages (sent at phase t + 2) arrive now.
+            Algorithm1Processor.on_final(self, inbox)
+        return self._increasing_phase(phase, inbox)
+
+    def on_final(self, inbox: Sequence[Envelope]) -> None:
+        self._collect_increasing(inbox)
+
+    def decision(self) -> Value:
+        return self.committed_value()
+
+
+class Algorithm2Transmitter(IncreasingMessageMixin, Algorithm1Transmitter):
+    """The transmitter ``p(1)``: Algorithm 1's phase 1, then label-1 duty."""
+
+    def on_bind(self) -> None:
+        self._init_increasing()
+
+    def committed_value(self) -> Value | None:
+        return self.value
+
+    def on_phase(self, phase: int, inbox: Sequence[Envelope]) -> Iterable[Outgoing]:
+        if phase <= self.ctx.t + 2:
+            return Algorithm1Transmitter.on_phase(self, phase, inbox)
+        return self._increasing_phase(phase, inbox)
+
+    def on_final(self, inbox: Sequence[Envelope]) -> None:
+        self._collect_increasing(inbox)
+
+
+class Algorithm2(Algorithm1):
+    """Theorem 4: ``3t + 3`` phases, at most ``5t² + 5t`` messages, and a
+    transferable one-message proof of the agreed value at every correct
+    processor."""
+
+    name = "algorithm-2"
+    authenticated = True
+
+    def num_phases(self) -> int:
+        return 3 * self.t + 3
+
+    def make_processor(self, pid: ProcessorId) -> "Algorithm2Processor | Algorithm2Transmitter":
+        if pid == self.transmitter:
+            return Algorithm2Transmitter()
+        return Algorithm2Processor(self.graph)
+
+    def upper_bound_messages(self) -> int:
+        """``5t² + 5t``: Algorithm 1's ``2t² + 2t`` plus ``t(t+1)`` from
+        labels ``1..t`` and ``(t+1)·2t`` from the remaining labels."""
+        return 5 * self.t * self.t + 5 * self.t

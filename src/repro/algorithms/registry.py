@@ -1,0 +1,150 @@
+"""Registry of the implemented agreement algorithms.
+
+Maps short names to constructors with a uniform ``(n, t, **params)``
+signature, plus metadata used by the comparison tables (experiment E11).
+The strawmen are registered separately — they are counterexamples, not
+algorithms anyone should run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm2 import Algorithm2
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.algorithms.cheap_strawman import EchoBroadcast, UnderSigningBroadcast
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.algorithms.informed import InformedAlgorithm2
+from repro.algorithms.oral_messages import OralMessages
+from repro.algorithms.phase_king import PhaseKing
+from repro.core.protocol import AgreementAlgorithm
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry entry: constructor plus table metadata."""
+
+    name: str
+    build: Callable[..., AgreementAlgorithm]
+    authenticated: bool
+    source: str  # citation within the paper
+    phases_formula: str
+    messages_formula: str
+
+    def __call__(self, n: int, t: int, **params) -> AgreementAlgorithm:
+        return self.build(n, t, **params)
+
+
+ALGORITHMS: dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in (
+        AlgorithmInfo(
+            name="dolev-strong",
+            build=DolevStrong,
+            authenticated=True,
+            source="baseline [9], classic form",
+            phases_formula="t + 1",
+            messages_formula="O(n^2)",
+        ),
+        AlgorithmInfo(
+            name="active-set",
+            build=ActiveSetBroadcast,
+            authenticated=True,
+            source="baseline [9], active-set form",
+            phases_formula="t + 2",
+            messages_formula="O(nt + t^2)",
+        ),
+        AlgorithmInfo(
+            name="oral-messages",
+            build=OralMessages,
+            authenticated=False,
+            source="baseline [14], OM(t)",
+            phases_formula="t + 1",
+            messages_formula="O(n^t)",
+        ),
+        AlgorithmInfo(
+            name="algorithm-1",
+            build=Algorithm1,
+            authenticated=True,
+            source="Theorem 3",
+            phases_formula="t + 2",
+            messages_formula="2t^2 + 2t",
+        ),
+        AlgorithmInfo(
+            name="algorithm-2",
+            build=Algorithm2,
+            authenticated=True,
+            source="Theorem 4",
+            phases_formula="3t + 3",
+            messages_formula="5t^2 + 5t",
+        ),
+        AlgorithmInfo(
+            name="algorithm-3",
+            build=Algorithm3,
+            authenticated=True,
+            source="Lemma 1 / Theorem 5",
+            phases_formula="t + 2s + 3",
+            messages_formula="2n + 4tn/s + 3t^2 s",
+        ),
+        AlgorithmInfo(
+            name="algorithm-5",
+            build=Algorithm5,
+            authenticated=True,
+            source="Lemma 5 / Theorem 7",
+            phases_formula="~ 3t + 4s",
+            messages_formula="O(t^2 + nt/s)",
+        ),
+        AlgorithmInfo(
+            name="informed-algorithm-2",
+            build=InformedAlgorithm2,
+            authenticated=True,
+            source="Section 5's n < α remedy (Algorithm 2 + informing phase)",
+            phases_formula="3t + 4",
+            messages_formula="5t^2 + 5t + (t+1)(n-2t-1)",
+        ),
+        AlgorithmInfo(
+            name="phase-king",
+            build=PhaseKing,
+            authenticated=False,
+            source="post-paper reference (Berman-Garay 1989)",
+            phases_formula="2t + 3",
+            messages_formula="O(t n^2)",
+        ),
+    )
+}
+
+STRAWMEN: dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in (
+        AlgorithmInfo(
+            name="strawman-undersigning",
+            build=UnderSigningBroadcast,
+            authenticated=True,
+            source="counterexample for Theorems 1 and 2",
+            phases_formula="1",
+            messages_formula="n - 1",
+        ),
+        AlgorithmInfo(
+            name="strawman-echo",
+            build=EchoBroadcast,
+            authenticated=True,
+            source="counterexample: volume without signature diversity",
+            phases_formula="2",
+            messages_formula="(n-1)^2",
+        ),
+    )
+}
+
+
+def get(name: str) -> AlgorithmInfo:
+    """Look up a registered algorithm (strawmen included) by name."""
+    if name in ALGORITHMS:
+        return ALGORITHMS[name]
+    if name in STRAWMEN:
+        return STRAWMEN[name]
+    known = sorted(ALGORITHMS) + sorted(STRAWMEN)
+    raise KeyError(f"unknown algorithm {name!r}; known: {known}")

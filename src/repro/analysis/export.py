@@ -1,0 +1,74 @@
+"""JSON export of runs, sweeps, and experiment reports.
+
+Downstream analysis (plotting, regression tracking, spreadsheets) wants
+machine-readable output; this module serialises the library's result
+objects to plain JSON-compatible dicts and files.  Payload contents are
+rendered as reprs — the numbers (counts, phases, decisions) are the data
+of record, not the message bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.report import ExperimentReport
+from repro.analysis.sweep import SweepPoint
+from repro.core.runner import RunResult
+
+
+def run_to_dict(result: RunResult) -> dict:
+    """A JSON-compatible summary of one run."""
+    return {
+        "algorithm": result.algorithm_name,
+        "n": result.n,
+        "t": result.t,
+        "transmitter": result.transmitter,
+        "input_value": repr(result.input_value),
+        "faulty": sorted(result.faulty),
+        "decisions": {str(pid): repr(v) for pid, v in result.decisions.items()},
+        "metrics": {
+            **result.metrics.summary(),
+            "messages_per_phase": {
+                str(k): v for k, v in sorted(result.metrics.messages_per_phase.items())
+            },
+            "signatures_per_phase": {
+                str(k): v
+                for k, v in sorted(result.metrics.signatures_per_phase.items())
+            },
+            "sent_per_processor": {
+                str(k): v for k, v in sorted(result.metrics.sent_per_processor.items())
+            },
+        },
+    }
+
+
+def sweep_to_dicts(points: Iterable[SweepPoint]) -> list[dict]:
+    """JSON-compatible rows for a sweep."""
+    rows = []
+    for point in points:
+        row = point.as_row()
+        row["value"] = repr(row["value"])
+        rows.append(row)
+    return rows
+
+
+def report_to_dict(report: ExperimentReport) -> dict:
+    """JSON-compatible form of an experiment report."""
+    return {
+        "all_hold": report.all_hold,
+        "records": [record.as_row() for record in report.records],
+    }
+
+
+def write_json(data: object, path: str | Path) -> Path:
+    """Write *data* as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_json(path: str | Path) -> object:
+    """Load previously exported JSON."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,129 @@
+"""Numeric fitting of cost curves (numpy) and graph export (networkx).
+
+The paper's claims are asymptotic; the honest empirical counterpart is to
+fit measured cost curves and compare *growth parameters* — the marginal
+message cost per processor, the exponent of a power law, the crossover
+point of two linear regimes.  This module provides those fits plus a
+networkx exporter for histories (communication-pattern analysis,
+visualisation in external tools).
+
+Both numpy and networkx are optional extras: the module imports them
+lazily and raises a clear error if they are missing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.history import History, edge_payloads
+from repro.core.metrics import count_signatures
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y ≈ slope · x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares over the points ``(xs, ys)``."""
+    import numpy as np
+
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two points with matching lengths")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    total = float(((y - y.mean()) ** 2).sum())
+    residual = float(((y - predicted) ** 2).sum())
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """Power law ``y ≈ coefficient · x^exponent`` (log–log least squares)."""
+
+    coefficient: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power(xs: Sequence[float], ys: Sequence[float]) -> PowerFit:
+    """Fit a power law through positive points.
+
+    Used to check growth *orders*: e.g. Algorithm 4's messages vs N should
+    fit an exponent near 1.5, OM(t)'s messages vs n (at t = n//3) an
+    exponent well above any fixed polynomial's.
+    """
+    if any(v <= 0 for v in xs) or any(v <= 0 for v in ys):
+        raise ValueError("power-law fits need strictly positive data")
+    log_fit = fit_linear([math.log(v) for v in xs], [math.log(v) for v in ys])
+    return PowerFit(
+        coefficient=math.exp(log_fit.intercept),
+        exponent=log_fit.slope,
+        r_squared=log_fit.r_squared,
+    )
+
+
+def crossover_point(fit_a: LinearFit, fit_b: LinearFit) -> float | None:
+    """The ``x`` at which two fitted lines intersect (None if parallel).
+
+    E.g. where Algorithm 5's message bill undercuts the active-set
+    baseline: both are linear in n, the crossover is where the lower
+    slope's higher intercept is amortised.
+    """
+    if math.isclose(fit_a.slope, fit_b.slope):
+        return None
+    return (fit_b.intercept - fit_a.intercept) / (fit_a.slope - fit_b.slope)
+
+
+def history_to_networkx(history: History, *, collapse_phases: bool = False):
+    """Export a history as a networkx ``MultiDiGraph``.
+
+    Each message becomes an edge with attributes ``phase`` and
+    ``signatures``; with ``collapse_phases=True`` a plain ``DiGraph`` is
+    returned whose edge weights count messages over the whole run (the
+    communication pattern, e.g. for drawing Algorithm 1's bipartite relay
+    structure or Algorithm 5's tree walks).
+    """
+    import networkx as nx
+
+    if collapse_phases:
+        graph = nx.DiGraph()
+        for phase_number, phase in enumerate(history.phases):
+            if phase_number == 0:
+                continue
+            for edge in phase.edges():
+                payloads = edge_payloads(edge.label)
+                if graph.has_edge(edge.src, edge.dst):
+                    graph[edge.src][edge.dst]["weight"] += len(payloads)
+                else:
+                    graph.add_edge(edge.src, edge.dst, weight=len(payloads))
+        return graph
+
+    graph = nx.MultiDiGraph()
+    for phase_number, phase in enumerate(history.phases):
+        if phase_number == 0:
+            continue
+        for edge in phase.edges():
+            for payload in edge_payloads(edge.label):
+                graph.add_edge(
+                    edge.src,
+                    edge.dst,
+                    phase=phase_number,
+                    signatures=count_signatures(payload),
+                )
+    return graph

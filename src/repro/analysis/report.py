@@ -1,0 +1,62 @@
+"""Paper-vs-measured experiment records (the EXPERIMENTS.md backbone).
+
+Each benchmark produces :class:`ExperimentRecord` rows: the paper's claim,
+what we measured, and whether the claim's *shape* holds.  ``shape_holds``
+is the honest criterion for worst-case/asymptotic claims — exact constants
+are testbed-dependent, but who wins, by what growth order, and where the
+crossovers fall must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.tables import format_markdown_table
+
+
+@dataclass
+class ExperimentRecord:
+    """One paper-claim-vs-measurement row."""
+
+    experiment: str  # e.g. "E4 / Theorem 3"
+    claim: str  # the paper's statement
+    setup: str  # workload and parameters
+    measured: str  # what we observed
+    holds: bool
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "experiment": self.experiment,
+            "claim": self.claim,
+            "setup": self.setup,
+            "measured": self.measured,
+            "holds": "yes" if self.holds else "NO",
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """A collection of records with rendering helpers."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def add(
+        self, experiment: str, claim: str, setup: str, measured: str, holds: bool
+    ) -> ExperimentRecord:
+        record = ExperimentRecord(experiment, claim, setup, measured, holds)
+        self.records.append(record)
+        return record
+
+    @property
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.records)
+
+    def failing(self) -> Sequence[ExperimentRecord]:
+        return [r for r in self.records if not r.holds]
+
+    def to_markdown(self) -> str:
+        return format_markdown_table([r.as_row() for r in self.records])
+
+    def __str__(self) -> str:
+        return self.to_markdown()

@@ -1,0 +1,150 @@
+"""Worst-case probing: search over adversary strategies.
+
+The paper's upper bounds are worst-case over *all* t-faulty histories; the
+benchmarks exercise hand-constructed worst cases (silent roots, packed
+rows, equivocators).  This module adds breadth: it enumerates a structured
+family of adversaries — silent/crash/garbage/randomized over systematic
+and random fault placements — runs them all, and reports the costliest.
+
+Used two ways:
+
+* as evidence: probing Algorithm 3 with hundreds of adversaries and never
+  exceeding Lemma 1's bound is a much stronger empirical statement than
+  three scenarios;
+* as a research tool: ``worst_case_probe(...)`` surfaces *which* fault
+  placement maximises traffic, which is how the faulty-root scenarios in
+  the benchmarks were found in the first place.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.adversary.base import Adversary
+from repro.adversary.standard import (
+    CrashAdversary,
+    GarbageAdversary,
+    RandomizedAdversary,
+    SilentAdversary,
+)
+from repro.core.protocol import AgreementAlgorithm
+from repro.core.runner import run
+from repro.core.types import Value
+from repro.core.validation import check_byzantine_agreement
+
+AlgorithmFactory = Callable[[], AgreementAlgorithm]
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one probed scenario."""
+
+    adversary: str
+    faulty: tuple[int, ...]
+    value: Value
+    messages: int
+    signatures: int
+    agreement_ok: bool
+
+
+def fault_placements(n: int, t: int, *, samples: int, rng: random.Random) -> Iterator[tuple[int, ...]]:
+    """Systematic plus random fault placements of every size up to *t*.
+
+    Systematic: prefixes, suffixes, and evenly spread sets — these hit the
+    structured roles (transmitter, actives, roots, leaves) of every
+    algorithm in the library.  Random: *samples* uniform subsets.
+    """
+    seen: set[tuple[int, ...]] = set()
+
+    def emit(placement: Iterable[int]) -> Iterator[tuple[int, ...]]:
+        key = tuple(sorted(set(placement)))
+        if key and key not in seen and len(key) <= t:
+            seen.add(key)
+            yield key
+
+    for size in range(1, t + 1):
+        yield from emit(range(size))  # transmitter + low ids
+        yield from emit(range(1, size + 1))  # low ids, transmitter spared
+        yield from emit(range(n - size, n))  # high ids (passives/leaves)
+        stride = max(1, n // size)
+        yield from emit(range(0, n, stride))  # spread
+    for _ in range(samples):
+        size = rng.randint(1, t)
+        yield from emit(rng.sample(range(n), size))
+
+
+def adversary_family(
+    faulty: tuple[int, ...], rng: random.Random
+) -> Iterator[tuple[str, Adversary]]:
+    """The behaviours probed for one fault placement."""
+    yield f"silent{list(faulty)}", SilentAdversary(faulty)
+    crash_at = {pid: 2 + (i % 3) for i, pid in enumerate(faulty)}
+    yield f"crash{crash_at}", CrashAdversary(crash_at)
+    yield f"garbage{list(faulty)}", GarbageAdversary(faulty)
+    seed = rng.randrange(2**31)
+    yield f"random{list(faulty)}#{seed}", RandomizedAdversary(faulty, seed)
+
+
+def probe(
+    factory: AlgorithmFactory,
+    *,
+    values: Iterable[Value] = (0, 1),
+    samples: int = 10,
+    seed: int = 0,
+) -> list[ProbeResult]:
+    """Run the full probe grid against *factory*'s algorithm."""
+    rng = random.Random(seed)
+    reference = factory()
+    results: list[ProbeResult] = []
+    for value in values:
+        results.append(_measure(factory, value, "fault-free", None, ()))
+    for faulty in fault_placements(reference.n, reference.t, samples=samples, rng=rng):
+        for value in values:
+            for name, adversary in adversary_family(faulty, rng):
+                results.append(_measure(factory, value, name, adversary, faulty))
+    return results
+
+
+def _measure(
+    factory: AlgorithmFactory,
+    value: Value,
+    name: str,
+    adversary: Adversary | None,
+    faulty: tuple[int, ...],
+) -> ProbeResult:
+    result = run(factory(), value, adversary, record_history=False)
+    report = check_byzantine_agreement(result)
+    return ProbeResult(
+        adversary=name,
+        faulty=faulty,
+        value=value,
+        messages=result.metrics.messages_by_correct,
+        signatures=result.metrics.signatures_by_correct,
+        agreement_ok=report.ok,
+    )
+
+
+def worst_case_probe(
+    factory: AlgorithmFactory,
+    *,
+    values: Iterable[Value] = (0, 1),
+    samples: int = 10,
+    seed: int = 0,
+    key: str = "messages",
+) -> tuple[ProbeResult, list[ProbeResult]]:
+    """Probe and return ``(costliest scenario, all results)``.
+
+    Raises :class:`AssertionError` if any probed scenario breaks agreement
+    — a probe that finds a correctness bug should never pass silently.
+    """
+    results = probe(factory, values=values, samples=samples, seed=seed)
+    broken = [r for r in results if not r.agreement_ok]
+    if broken:
+        raise AssertionError(
+            f"probing broke agreement: {[(r.adversary, r.value) for r in broken[:5]]}"
+        )
+    worst = max(results, key=lambda r: getattr(r, key))
+    return worst, results

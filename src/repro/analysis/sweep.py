@@ -1,0 +1,118 @@
+"""Parameter sweeps: run scenario grids and collect cost records.
+
+This is the workhorse behind the benchmark harness and EXPERIMENTS.md —
+the paper's evaluation is a family of worst-case cost claims over
+``(n, t, s, α)``, so reproducing it means sweeping those parameters and
+recording messages / signatures / phases per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.adversary.base import Adversary
+from repro.core.protocol import AgreementAlgorithm
+from repro.core.runner import run
+from repro.core.types import Value
+from repro.core.validation import check_byzantine_agreement
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured execution."""
+
+    algorithm: str
+    n: int
+    t: int
+    params: tuple[tuple[str, object], ...]
+    adversary: str
+    value: Value
+    messages: int
+    signatures: int
+    phases_used: int
+    phases_configured: int
+    message_bound: int | None
+    agreement_ok: bool
+
+    def param(self, key: str, default: object = None) -> object:
+        return dict(self.params).get(key, default)
+
+    def as_row(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "t": self.t,
+            "adversary": self.adversary,
+            "value": self.value,
+            "messages": self.messages,
+            "signatures": self.signatures,
+            "phases": self.phases_configured,
+            "bound": self.message_bound,
+            "ok": self.agreement_ok,
+        }
+        row.update(dict(self.params))
+        return row
+
+
+def measure(
+    algorithm: AgreementAlgorithm,
+    value: Value,
+    adversary: Adversary | None = None,
+    *,
+    adversary_name: str = "fault-free",
+    params: Mapping[str, object] | None = None,
+    record_history: bool = False,
+) -> SweepPoint:
+    """Run one scenario and condense it into a :class:`SweepPoint`."""
+    result = run(algorithm, value, adversary, record_history=record_history)
+    report = check_byzantine_agreement(result)
+    return SweepPoint(
+        algorithm=algorithm.name,
+        n=algorithm.n,
+        t=algorithm.t,
+        params=tuple(sorted((params or {}).items())),
+        adversary=adversary_name,
+        value=value,
+        messages=result.metrics.messages_by_correct,
+        signatures=result.metrics.signatures_by_correct,
+        phases_used=result.metrics.last_active_phase,
+        phases_configured=algorithm.num_phases(),
+        message_bound=algorithm.upper_bound_messages(),
+        agreement_ok=report.ok,
+    )
+
+
+def sweep(
+    configurations: Iterable[tuple[Mapping[str, object], Callable[[], AgreementAlgorithm]]],
+    values: Iterable[Value] = (0, 1),
+    adversaries: Iterable[tuple[str, Callable[[AgreementAlgorithm], Adversary | None]]] = (
+        ("fault-free", lambda _: None),
+    ),
+) -> list[SweepPoint]:
+    """Cartesian sweep: configurations × adversaries × values."""
+    points: list[SweepPoint] = []
+    adversaries = list(adversaries)
+    values = list(values)
+    for params, factory in configurations:
+        for adversary_name, adversary_factory in adversaries:
+            for value in values:
+                algorithm = factory()
+                points.append(
+                    measure(
+                        algorithm,
+                        value,
+                        adversary_factory(algorithm),
+                        adversary_name=adversary_name,
+                        params=params,
+                    )
+                )
+    return points
+
+
+def worst_case(points: Iterable[SweepPoint], key: str = "messages") -> SweepPoint:
+    """The point maximising *key* — the paper's bounds are worst-case."""
+    points = list(points)
+    if not points:
+        raise ValueError("no sweep points")
+    return max(points, key=lambda p: getattr(p, key))

@@ -1,0 +1,147 @@
+"""Human-readable execution traces.
+
+Renders a finished run's :class:`~repro.core.history.History` as a
+phase-by-phase timeline — who sent what to whom, how many signatures each
+message carried, which phases were silent — plus per-phase and per-
+processor summaries.  Useful for debugging new algorithms and for
+teaching: the paper's algorithms are much easier to follow watching the
+correct 1-messages hop across the bipartite graph or the chain sets being
+walked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.history import History, edge_payloads
+from repro.core.metrics import count_signatures
+from repro.core.runner import RunResult
+from repro.core.types import INPUT_SOURCE, ProcessorId
+
+
+@dataclass(frozen=True)
+class TraceLine:
+    """One rendered message."""
+
+    phase: int
+    src: ProcessorId
+    dst: ProcessorId
+    summary: str
+    signatures: int
+
+
+def describe_payload(payload: object, max_length: int = 60) -> str:
+    """A one-line, truncated description of a message payload."""
+    text = repr(payload)
+    if len(text) > max_length:
+        text = text[: max_length - 3] + "..."
+    return text
+
+
+def trace_lines(
+    history: History,
+    *,
+    processors: set[ProcessorId] | None = None,
+    phases: range | None = None,
+) -> list[TraceLine]:
+    """Flatten a history into trace lines, optionally filtered.
+
+    *processors* keeps only messages touching one of the given ids;
+    *phases* keeps only the given phase numbers.
+    """
+    lines: list[TraceLine] = []
+    for phase_number, phase in enumerate(history.phases):
+        if phases is not None and phase_number not in phases:
+            continue
+        for edge in phase.edges():
+            if processors is not None and not (
+                edge.src in processors or edge.dst in processors
+            ):
+                continue
+            for payload in edge_payloads(edge.label):
+                lines.append(
+                    TraceLine(
+                        phase=phase_number,
+                        src=edge.src,
+                        dst=edge.dst,
+                        summary=describe_payload(payload),
+                        signatures=count_signatures(payload),
+                    )
+                )
+    return lines
+
+
+def render_trace(
+    result: RunResult,
+    *,
+    processors: set[ProcessorId] | None = None,
+    max_messages_per_phase: int = 12,
+) -> str:
+    """The full timeline of a run as text.
+
+    Messages from faulty processors are marked with ``!``; the phase-0
+    input edge renders as ``input``.  Phases with more traffic than
+    *max_messages_per_phase* are elided with a count.
+    """
+    out: list[str] = [
+        f"run of {result.algorithm_name}: n={result.n}, t={result.t}, "
+        f"input={result.input_value!r}, faulty={sorted(result.faulty) or 'none'}"
+    ]
+    lines = trace_lines(result.history, processors=processors)
+    by_phase: dict[int, list[TraceLine]] = {}
+    for line in lines:
+        by_phase.setdefault(line.phase, []).append(line)
+
+    for phase_number in range(len(result.history.phases)):
+        phase_lines = by_phase.get(phase_number, [])
+        header = f"--- phase {phase_number} ({len(phase_lines)} messages) ---"
+        out.append(header)
+        if not phase_lines:
+            out.append("    (silent)")
+            continue
+        shown = phase_lines[:max_messages_per_phase]
+        for line in shown:
+            marker = "!" if line.src in result.faulty else " "
+            src = "input" if line.src == INPUT_SOURCE else f"{line.src:>3}"
+            sigs = f" [{line.signatures} sig]" if line.signatures else ""
+            out.append(f"  {marker} {src} -> {line.dst:>3}: {line.summary}{sigs}")
+        if len(phase_lines) > len(shown):
+            out.append(f"    ... {len(phase_lines) - len(shown)} more")
+
+    decisions = {pid: result.decisions[pid] for pid in sorted(result.decisions)}
+    out.append(f"decisions: {decisions}")
+    return "\n".join(out)
+
+
+def phase_summary(result: RunResult) -> list[dict[str, object]]:
+    """Per-phase totals: rows for tables/plots."""
+    rows: list[dict[str, object]] = []
+    metrics = result.metrics
+    for phase in range(1, metrics.phases_configured + 1):
+        rows.append(
+            {
+                "phase": phase,
+                "messages": metrics.messages_per_phase.get(phase, 0),
+                "signatures": metrics.signatures_per_phase.get(phase, 0),
+            }
+        )
+    return rows
+
+
+def processor_summary(result: RunResult) -> list[dict[str, object]]:
+    """Per-processor totals: sent, received, role, decision."""
+    rows: list[dict[str, object]] = []
+    for pid in range(result.n):
+        role = "faulty" if pid in result.faulty else "correct"
+        if pid == result.transmitter:
+            role = f"transmitter/{role}"
+        rows.append(
+            {
+                "processor": pid,
+                "role": role,
+                "sent": result.metrics.sent_per_processor.get(pid, 0),
+                "received": result.metrics.received_per_processor.get(pid, 0),
+                "decision": result.decisions.get(pid, "-"),
+            }
+        )
+    return rows

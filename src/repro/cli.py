@@ -1,0 +1,298 @@
+"""Command-line interface: run scenarios and experiments without writing code.
+
+Usage (also via ``python -m repro``)::
+
+    # run one algorithm against an adversary and print the cost ledger
+    python -m repro run --algorithm algorithm-5 --n 100 --t 3 --value 1
+    python -m repro run --algorithm algorithm-1 --n 7 --t 3 \
+        --adversary silent:1,2 --value 1
+
+    # list everything that is registered
+    python -m repro list
+
+    # side-by-side comparison at one (n, t)
+    python -m repro compare --n 120 --t 2
+
+    # execute a lower-bound proof
+    python -m repro theorem1 --algorithm strawman-undersigning --n 6 --t 2
+    python -m repro theorem2 --algorithm algorithm-1 --n 9 --t 4
+
+Adversary specs: ``silent:PIDS``, ``crash:PID@PHASE,...``,
+``equivocate`` (transmitter tells odd ids value 1, even ids value 0),
+``garbage:PIDS``, ``random:SEED:PIDS``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.adversary.base import Adversary
+from repro.adversary.standard import (
+    CrashAdversary,
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    RandomizedAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.registry import ALGORITHMS, STRAWMEN, get
+from repro.analysis.tables import format_table
+from repro.bounds.theorem1 import theorem1_experiment
+from repro.bounds.theorem2 import theorem2_experiment
+from repro.core.protocol import AgreementAlgorithm
+from repro.core.runner import run as run_algorithm
+from repro.core.validation import check_byzantine_agreement
+
+
+def _parse_pids(spec: str) -> list[int]:
+    return [int(p) for p in spec.split(",") if p]
+
+
+def parse_adversary(spec: str | None, algorithm: AgreementAlgorithm) -> Adversary | None:
+    """Build an adversary from a CLI spec string (see module docstring)."""
+    if not spec or spec == "none":
+        return None
+    kind, _, rest = spec.partition(":")
+    if kind == "silent":
+        return SilentAdversary(_parse_pids(rest))
+    if kind == "crash":
+        crashes = {}
+        for item in rest.split(","):
+            pid, _, phase = item.partition("@")
+            crashes[int(pid)] = int(phase) if phase else 1
+        return CrashAdversary(crashes)
+    if kind == "equivocate":
+        return EquivocatingTransmitter(
+            algorithm.transmitter,
+            {q: q % 2 for q in range(1, algorithm.n)},
+        )
+    if kind == "garbage":
+        return GarbageAdversary(_parse_pids(rest))
+    if kind == "random":
+        seed, _, pids = rest.partition(":")
+        return RandomizedAdversary(_parse_pids(pids), int(seed))
+    raise SystemExit(f"unknown adversary spec {spec!r}")
+
+
+def _build(args: argparse.Namespace) -> AgreementAlgorithm:
+    info = get(args.algorithm)
+    params = {}
+    if args.s is not None:
+        params["s"] = args.s
+    return info(args.n, args.t, **params)
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": info.name,
+            "authenticated": info.authenticated,
+            "source": info.source,
+            "phases": info.phases_formula,
+            "messages": info.messages_formula,
+        }
+        for info in list(ALGORITHMS.values()) + list(STRAWMEN.values())
+    ]
+    print(format_table(rows, title="Registered algorithms"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    algorithm = _build(args)
+    adversary = parse_adversary(args.adversary, algorithm)
+    result = run_algorithm(algorithm, args.value, adversary)
+    report = check_byzantine_agreement(result)
+
+    print(f"algorithm            : {algorithm.name} (n={algorithm.n}, t={algorithm.t})")
+    print(f"phases               : {algorithm.num_phases()}")
+    print(f"faulty               : {sorted(result.faulty) or 'none'}")
+    print(f"decisions            : {result.decided_values()}")
+    print(f"messages (correct)   : {result.metrics.messages_by_correct}")
+    print(f"signatures (correct) : {result.metrics.signatures_by_correct}")
+    bound = algorithm.upper_bound_messages()
+    if bound is not None:
+        print(f"paper's message bound: {bound}")
+    print(f"byzantine agreement  : {report}")
+    return 0 if report.ok else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for info in ALGORITHMS.values():
+        try:
+            algorithm = info(args.n, args.t)
+        except Exception as error:  # size constraints differ per algorithm
+            rows.append({"algorithm": info.name, "note": str(error)})
+            continue
+        result = run_algorithm(algorithm, 1, record_history=False)
+        report = check_byzantine_agreement(result)
+        rows.append(
+            {
+                "algorithm": info.name,
+                "phases": algorithm.num_phases(),
+                "messages": result.metrics.messages_by_correct,
+                "signatures": result.metrics.signatures_by_correct,
+                "agreement": report.ok,
+            }
+        )
+    print(format_table(rows, title=f"Fault-free comparison at n={args.n}, t={args.t}"))
+    return 0
+
+
+def cmd_theorem1(args: argparse.Namespace) -> int:
+    report = theorem1_experiment(lambda: _build(args))
+    print(f"bound n(t+1)/4         : {float(report.bound):.2f}")
+    print(f"signatures in H + G    : {report.signatures_h + report.signatures_g}")
+    print(f"min per-processor |A|  : {report.min_exchange} (needs {report.t + 1})")
+    if report.attack is None:
+        print("verdict                : not splittable — the bound is respected")
+        return 0
+    attack = report.attack
+    print(f"splittable processors  : {report.weak_processors}")
+    print(f"attack on {attack.target}: view==pH {attack.target_view_matches_h}, "
+          f"decided {attack.target_decision!r} vs others "
+          f"{sorted(set(attack.other_decisions.values()))!r}")
+    print(f"agreement violated     : {attack.agreement_violated}")
+    return 0
+
+
+def cmd_theorem2(args: argparse.Namespace) -> int:
+    report = theorem2_experiment(lambda: _build(args))
+    print(f"combined lower bound   : {report.bound}")
+    print(f"fault-free messages    : {report.fault_free_messages}")
+    print(f"B set                  : {list(report.b_set)}")
+    print(f"messages fed to B      : {report.received_by_b} "
+          f"(each needs {report.per_member_requirement})")
+    if report.attack is None:
+        print("verdict                : B cannot be starved — the bound is respected")
+        return 0
+    attack = report.attack
+    print(f"switch attack on {attack.target}: received "
+          f"{attack.target_messages_received}, decided {attack.target_decision!r} "
+          f"vs others {sorted(set(attack.other_decisions.values()))!r}")
+    print(f"agreement violated     : {attack.agreement_violated}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.analysis.trace import render_trace
+
+    algorithm = _build(args)
+    adversary = parse_adversary(args.adversary, algorithm)
+    result = run_algorithm(algorithm, args.value, adversary)
+    print(render_trace(result, max_messages_per_phase=args.max_messages))
+    return 0
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.core.conformance import check_conformance
+
+    algorithm = _build(args)
+    adversary = parse_adversary(args.adversary, algorithm)
+    result = run_algorithm(algorithm, args.value, adversary)
+    verdicts = check_conformance(result, _build(args))
+    rows = []
+    for pid in range(algorithm.n):
+        verdict = verdicts[pid]
+        rows.append(
+            {
+                "processor": pid,
+                "corrupted": pid in result.faulty,
+                "correct in H": verdict.correct_in_history,
+                "first deviation": verdict.first_deviation_phase,
+                "detail": verdict.deviations[0].describe()
+                if verdict.deviations
+                else "-",
+            }
+        )
+    print(format_table(rows, title="Section 2 conformance (correct-at-phase-k)"))
+    behavioural = [p for p in range(algorithm.n) if not verdicts[p].correct_in_history]
+    print(f"\nbehaviourally faulty: {behavioural or 'none'} "
+          f"(corrupted: {sorted(result.faulty) or 'none'})")
+    return 0
+
+
+def cmd_experiments(_: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_all_experiments
+
+    report = run_all_experiments()
+    print(report.to_markdown())
+    if report.all_hold:
+        print("\nall experiments reproduce the paper's claims")
+        return 0
+    print(f"\nFAILING: {[r.experiment for r in report.failing()]}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dolev-Reischuk 'Bounds on Information Exchange for "
+        "Byzantine Agreement' — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered algorithms").set_defaults(
+        func=cmd_list
+    )
+
+    def add_system_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--algorithm", required=True, help="registry name")
+        p.add_argument("--n", type=int, required=True)
+        p.add_argument("--t", type=int, required=True)
+        p.add_argument("--s", type=int, default=None, help="tuning parameter "
+                       "(Algorithm 3's chain-set size / Algorithm 5's tree size)")
+
+    p_run = sub.add_parser("run", help="execute one scenario")
+    add_system_args(p_run)
+    p_run.add_argument("--value", type=int, default=1)
+    p_run.add_argument("--adversary", default=None, help="see module docstring")
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="fault-free comparison table")
+    p_cmp.add_argument("--n", type=int, required=True)
+    p_cmp.add_argument("--t", type=int, required=True)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_t1 = sub.add_parser("theorem1", help="run the signature lower-bound proof")
+    add_system_args(p_t1)
+    p_t1.set_defaults(func=cmd_theorem1)
+
+    p_t2 = sub.add_parser("theorem2", help="run the message lower-bound proof")
+    add_system_args(p_t2)
+    p_t2.set_defaults(func=cmd_theorem2)
+
+    p_trace = sub.add_parser("trace", help="print a phase-by-phase timeline")
+    add_system_args(p_trace)
+    p_trace.add_argument("--value", type=int, default=1)
+    p_trace.add_argument("--adversary", default=None)
+    p_trace.add_argument("--max-messages", type=int, default=12,
+                         help="messages shown per phase before eliding")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_conf = sub.add_parser(
+        "conformance",
+        help="replay the correctness rules and localise behavioural faults",
+    )
+    add_system_args(p_conf)
+    p_conf.add_argument("--value", type=int, default=1)
+    p_conf.add_argument("--adversary", default=None)
+    p_conf.set_defaults(func=cmd_conformance)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="fast pass over every paper experiment (E1–E12), verdict table",
+    )
+    p_exp.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or scenario was configured with invalid parameters.
+
+    Examples: ``n != 2t + 1`` for Algorithm 1, a non-square grid for
+    Algorithm 4, a fault bound ``t >= n``.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A processor's protocol produced output the model forbids.
+
+    Raised by the runner when, for instance, a protocol addresses a message
+    to a non-existent processor or to itself, or returns output after the
+    algorithm's last phase.
+    """
+
+
+class ForgeryError(ReproError):
+    """An attempt to sign on behalf of a processor without its key.
+
+    The simulated signature scheme is *structurally* unforgeable: producing a
+    correct processor's signature requires its :class:`~repro.crypto.signatures.SigningKey`,
+    which only that processor's runtime context holds.  Any other attempt
+    raises this error.
+    """
+
+
+class AdversaryError(ReproError):
+    """The adversary emitted a message that violates the model.
+
+    A faulty processor can send arbitrary *content*, but it can neither spoof
+    the source of a message (the paper assumes each receiver knows the true
+    immediate sender) nor act on behalf of a correct processor.
+    """
+
+
+class ValidationError(ReproError):
+    """A finished run violated the Byzantine Agreement conditions.
+
+    Only raised by the strict checking entry points; the ordinary validator
+    returns a report instead of raising.
+    """

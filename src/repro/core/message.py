@@ -1,0 +1,123 @@
+"""Message model: envelopes and canonical payload digests.
+
+A *message* in the paper's model is a label on a directed edge of a phase
+graph.  Here a sent message is an :class:`Envelope` — an immutable record of
+``(src, dst, phase, payload)``.  The network stamps ``src`` and ``phase``;
+protocols only choose ``(dst, payload)``.  This enforces the paper's
+assumption that *"for each labeled edge, processor p knows the source of
+that edge — no processor can send a message to p claiming to be somebody
+else."*
+
+Payloads must be canonicalisable: built from hashable immutables (ints,
+strings, tuples, frozensets, frozen dataclasses).  :func:`payload_digest`
+computes a deterministic digest used by the simulated signature scheme; it
+is stable across processes (unlike :func:`hash`, which Python salts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterator
+
+from repro.core.types import INPUT_SOURCE, ProcessorId
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """One delivered message: an edge label of a phase graph.
+
+    Attributes:
+        src: true sender (stamped by the network, never spoofable); the
+            special value :data:`~repro.core.types.INPUT_SOURCE` marks the
+            phase-0 inedge that carries the transmitter's private value.
+        dst: receiver.
+        phase: the phase in which the message was *sent*; it is delivered to
+            (and acted on by) the receiver at the beginning of ``phase + 1``.
+        payload: arbitrary canonicalisable content.
+    """
+
+    src: ProcessorId
+    dst: ProcessorId
+    phase: int
+    payload: Any
+
+    def is_input_edge(self) -> bool:
+        """True for the phase-0 inedge carrying the transmitter's value."""
+        return self.src == INPUT_SOURCE and self.phase == 0
+
+
+#: What a protocol returns from ``on_phase``: destination plus payload.
+Outgoing = tuple[ProcessorId, Any]
+
+
+class CanonicalisationError(TypeError):
+    """Raised when a payload contains an object we cannot canonicalise."""
+
+
+def canonical(payload: Any) -> Any:
+    """Reduce *payload* to a canonical nested-tuple form.
+
+    The canonical form is built only from ``None``, ``bool``, ``int``,
+    ``float``, ``str``, ``bytes`` and tuples, with explicit type tags so
+    that, e.g., ``(1, 2)`` and ``[1, 2]`` and ``frozenset({1, 2})`` cannot
+    collide.  Frozen dataclasses are canonicalised field by field (tagged
+    with their qualified class name), which covers every message type in
+    this library.
+    """
+    if payload is None or isinstance(payload, (bool, int, float, str, bytes)):
+        return payload
+    if isinstance(payload, Enum):
+        return ("enum", type(payload).__qualname__, payload.name)
+    if isinstance(payload, tuple):
+        return ("tuple", *(canonical(item) for item in payload))
+    if isinstance(payload, list):
+        return ("list", *(canonical(item) for item in payload))
+    if isinstance(payload, (frozenset, set)):
+        members = sorted((repr(canonical(item)) for item in payload))
+        return ("set", *members)
+    if isinstance(payload, dict):
+        items = sorted((repr(canonical(k)), canonical(v)) for k, v in payload.items())
+        return ("dict", *items)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        fields = tuple(
+            canonical(getattr(payload, f.name)) for f in dataclasses.fields(payload)
+        )
+        return ("dc", type(payload).__qualname__, *fields)
+    raise CanonicalisationError(
+        f"cannot canonicalise payload of type {type(payload).__qualname__}"
+    )
+
+
+def payload_digest(payload: Any) -> str:
+    """Deterministic short digest of a payload's canonical form.
+
+    Used as the "contents" a signature binds to.  Collision resistance at
+    simulation scale is ample with 16 hex chars (64 bits); the scheme's
+    unforgeability does **not** rest on the digest (it rests on the key
+    registry), so the digest only needs to distinguish payloads honestly
+    produced within one run.
+    """
+    text = repr(canonical(payload)).encode("utf-8")
+    return hashlib.sha256(text).hexdigest()[:16]
+
+
+def iter_payload_parts(payload: Any) -> Iterator[Any]:
+    """Depth-first iteration over a payload and its nested components.
+
+    Used by the metrics layer to count signatures appended to a message
+    regardless of how the algorithm nests them.
+    """
+    yield payload
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        for item in payload:
+            yield from iter_payload_parts(item)
+    elif isinstance(payload, dict):
+        for key, value in payload.items():
+            yield from iter_payload_parts(key)
+            yield from iter_payload_parts(value)
+    elif dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        for field in dataclasses.fields(payload):
+            yield from iter_payload_parts(getattr(payload, field.name))

@@ -1,0 +1,215 @@
+"""Lock-step synchronous execution of an agreement algorithm.
+
+The runner implements the paper's synchronous model directly: a run is a
+sequence of phases; in phase ``k`` every processor sends messages computed
+from what it received in phases ``< k``; everything sent in phase ``k`` is
+delivered at the beginning of phase ``k + 1``.  Correct processors execute
+their algorithm's :class:`~repro.core.protocol.Processor`; faulty ones are
+driven by an :class:`~repro.adversary.base.Adversary`.
+
+The runner also records the complete :class:`~repro.core.history.History`
+(the formal object of Section 2) and a
+:class:`~repro.core.metrics.MetricsLedger` with the paper's cost measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.adversary.base import Adversary, AdversaryEnvironment, NullAdversary, PhaseView
+from repro.core.errors import AdversaryError, ConfigurationError, ProtocolViolationError
+from repro.core.history import History
+from repro.core.message import Envelope
+from repro.core.metrics import MetricsLedger
+from repro.core.protocol import AgreementAlgorithm, Context, Processor
+from repro.core.types import INPUT_SOURCE, ProcessorId, Value
+from repro.crypto.signatures import SignatureService
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one finished execution."""
+
+    algorithm_name: str
+    n: int
+    t: int
+    transmitter: ProcessorId
+    input_value: Value
+    correct: frozenset[ProcessorId]
+    faulty: frozenset[ProcessorId]
+    #: Decisions of the *correct* processors only — the BA conditions
+    #: constrain nobody else.
+    decisions: dict[ProcessorId, Value]
+    metrics: MetricsLedger
+    history: History
+    #: The live protocol instances of correct processors, for postcondition
+    #: checks (e.g. Algorithm 2's transferable proof of agreement).
+    processors: Mapping[ProcessorId, Processor] = field(default_factory=dict)
+    #: The run's signature registry — needed to re-verify recorded payloads
+    #: (e.g. by the conformance checker or an external proof auditor).
+    service: SignatureService | None = None
+
+    def decision_of(self, pid: ProcessorId) -> Value:
+        """Decision of correct processor *pid*."""
+        return self.decisions[pid]
+
+    def decided_values(self) -> set[Value]:
+        """The set of distinct values decided by correct processors."""
+        return set(self.decisions.values())
+
+    def unanimous_value(self) -> Value:
+        """The single agreed value; raises if correct processors disagree."""
+        values = self.decided_values()
+        if len(values) != 1:
+            raise ValueError(f"correct processors disagree: {sorted(map(repr, values))}")
+        return next(iter(values))
+
+
+def run(
+    algorithm: AgreementAlgorithm,
+    input_value: Value,
+    adversary: Adversary | None = None,
+    *,
+    rushing: bool = False,
+    record_history: bool = True,
+) -> RunResult:
+    """Execute *algorithm* on *input_value* against *adversary*.
+
+    Args:
+        algorithm: a configured algorithm (knows its ``n`` and ``t``).
+        input_value: the private value on the transmitter's phase-0 inedge.
+        adversary: strategy for the faulty processors; defaults to the
+            fault-free :class:`~repro.adversary.base.NullAdversary`.
+        rushing: expose the current phase's correct traffic to the
+            adversary before it chooses its own sends (off by default to
+            match the paper's history model).
+        record_history: set ``False`` to skip history recording for large
+            parameter sweeps (metrics are always recorded).
+
+    Returns:
+        A :class:`RunResult`.
+
+    Raises:
+        ConfigurationError: if the adversary corrupts more than ``t``
+            processors or names ids outside the system.
+        AdversaryError / ProtocolViolationError: on model violations.
+    """
+    adversary = adversary if adversary is not None else NullAdversary()
+    n, t = algorithm.n, algorithm.t
+    if (
+        algorithm.value_domain is not None
+        and input_value not in algorithm.value_domain
+    ):
+        raise ConfigurationError(
+            f"{algorithm.name} only agrees on values in "
+            f"{sorted(algorithm.value_domain, key=repr)}; got {input_value!r} "
+            f"(wrap a binary algorithm with MultivaluedAgreement for wider "
+            f"domains)"
+        )
+    faulty = adversary.faulty
+    if len(faulty) > t:
+        raise ConfigurationError(
+            f"adversary corrupts {len(faulty)} processors but the algorithm "
+            f"only claims to tolerate t={t}"
+        )
+    if any(not 0 <= pid < n for pid in faulty):
+        raise ConfigurationError(f"faulty set {sorted(faulty)} not within range({n})")
+    correct = frozenset(range(n)) - faulty
+
+    service = SignatureService()
+    processors: dict[ProcessorId, Processor] = {}
+    for pid in sorted(correct):
+        processor = algorithm.make_processor(pid)
+        processor.bind(
+            Context(
+                pid=pid,
+                n=n,
+                t=t,
+                transmitter=algorithm.transmitter,
+                key=service.key_for(pid),
+                service=service,
+            )
+        )
+        processors[pid] = processor
+
+    adversary.bind(
+        AdversaryEnvironment(
+            n=n,
+            t=t,
+            transmitter=algorithm.transmitter,
+            input_value=input_value,
+            service=service,
+            keys={pid: service.key_for(pid) for pid in sorted(faulty)},
+            algorithm=algorithm,
+        )
+    )
+
+    metrics = MetricsLedger(phases_configured=algorithm.num_phases())
+    history = History.with_input(algorithm.transmitter, input_value)
+
+    input_edge = Envelope(
+        src=INPUT_SOURCE, dst=algorithm.transmitter, phase=0, payload=input_value
+    )
+    pending: dict[ProcessorId, list[Envelope]] = {algorithm.transmitter: [input_edge]}
+
+    for phase in range(1, algorithm.num_phases() + 1):
+        inboxes = pending
+        pending = {}
+        sent: list[Envelope] = []
+
+        for pid in sorted(correct):
+            outgoing = processors[pid].on_phase(phase, tuple(inboxes.get(pid, ())))
+            for dst, payload in outgoing:
+                if not 0 <= dst < n:
+                    raise ProtocolViolationError(
+                        f"processor {pid} addressed non-existent processor {dst}"
+                    )
+                if dst == pid:
+                    raise ProtocolViolationError(
+                        f"processor {pid} sent a message to itself"
+                    )
+                sent.append(Envelope(src=pid, dst=dst, phase=phase, payload=payload))
+
+        view = PhaseView(
+            phase=phase,
+            inboxes={pid: tuple(inboxes.get(pid, ())) for pid in sorted(faulty)},
+            history=history,
+            rushing_outbox=tuple(sent) if rushing else (),
+        )
+        for src, dst, payload in adversary.on_phase(view):
+            if src not in faulty:
+                raise AdversaryError(
+                    f"adversary tried to send as processor {src}, which it "
+                    f"does not control"
+                )
+            if not 0 <= dst < n or dst == src:
+                raise AdversaryError(f"invalid adversary destination {dst}")
+            sent.append(Envelope(src=src, dst=dst, phase=phase, payload=payload))
+
+        for envelope in sent:
+            metrics.record_send(envelope, sender_correct=envelope.src in correct)
+            pending.setdefault(envelope.dst, []).append(envelope)
+        for inbox in pending.values():
+            inbox.sort(key=lambda e: e.src)
+        if record_history:
+            history.append_phase(sent)
+
+    for pid in sorted(correct):
+        processors[pid].on_final(tuple(pending.get(pid, ())))
+
+    decisions = {pid: processors[pid].decision() for pid in sorted(correct)}
+    return RunResult(
+        algorithm_name=algorithm.name,
+        n=n,
+        t=t,
+        transmitter=algorithm.transmitter,
+        input_value=input_value,
+        correct=correct,
+        faulty=faulty,
+        decisions=decisions,
+        metrics=metrics,
+        history=history,
+        processors=processors,
+        service=service,
+    )

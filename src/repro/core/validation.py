@@ -1,0 +1,87 @@
+"""Checking the Byzantine Agreement conditions on finished runs.
+
+The paper's conditions (for a ``t``-faulty history ``H``):
+
+(i)  **Agreement** — if processors ``p`` and ``q`` are correct in ``H``,
+     then ``F_p(pH) = F_q(qH)``;
+(ii) **Validity** — if the transmitter and processor ``p`` are correct in
+     ``H``, then ``F_p(pH) = v``, the transmitter's value.
+
+The validator returns a structured report; ``require_agreement`` raises on
+violation for use inside tests and the executable lower-bound proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ValidationError
+from repro.core.runner import RunResult
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of checking the BA conditions on one run."""
+
+    agreement: bool
+    validity: bool
+    #: True when every correct processor actually decided (no ``None``).
+    all_decided: bool
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True iff both BA conditions hold and everyone decided."""
+        return self.agreement and self.validity and self.all_decided
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "Byzantine Agreement holds"
+        return "; ".join(self.violations)
+
+
+def check_byzantine_agreement(result: RunResult) -> ValidationReport:
+    """Evaluate conditions (i) and (ii) on *result*."""
+    violations: list[str] = []
+
+    undecided = sorted(pid for pid, v in result.decisions.items() if v is None)
+    all_decided = not undecided
+    if undecided:
+        violations.append(f"correct processors {undecided} never decided")
+
+    values = result.decided_values()
+    agreement = len(values) <= 1
+    if not agreement:
+        per_value = {
+            repr(v): sorted(p for p, d in result.decisions.items() if d == v)
+            for v in values
+        }
+        violations.append(f"agreement violated: {per_value}")
+
+    validity = True
+    if result.transmitter in result.correct and result.decisions:
+        wrong = sorted(
+            pid
+            for pid, decided in result.decisions.items()
+            if decided != result.input_value
+        )
+        if wrong:
+            validity = False
+            violations.append(
+                f"validity violated: transmitter correctly sent "
+                f"{result.input_value!r} but {wrong} decided otherwise"
+            )
+
+    return ValidationReport(
+        agreement=agreement,
+        validity=validity,
+        all_decided=all_decided,
+        violations=violations,
+    )
+
+
+def require_agreement(result: RunResult) -> None:
+    """Raise :class:`~repro.core.errors.ValidationError` unless BA holds."""
+    report = check_byzantine_agreement(result)
+    if not report.ok:
+        raise ValidationError(str(report))

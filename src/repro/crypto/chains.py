@@ -1,0 +1,121 @@
+"""Multi-signature chains.
+
+Every authenticated algorithm in the paper relays a value with a growing
+list of signatures appended: Dolev–Strong messages with ``k`` distinct
+signatures at phase ``k``, Algorithm 1's *correct 1-messages* whose signers
+form a simple path in the relay graph, Algorithm 2's *increasing messages*,
+Algorithm 5's *valid messages* (a value plus at least ``t + 1`` active
+signatures).  This module provides the common structure.
+
+Chain convention: the ``i``-th signature signs the pair *(value, previous
+signatures)* — so nobody can splice a signature out of the middle or reuse
+one under a different prefix, matching the paper's assumption that contents
+and signatures cannot be altered undetectably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.types import ProcessorId, Value
+from repro.crypto.signatures import Signature, SignatureService, SigningKey
+
+
+def chain_body(value: Value, prefix: tuple[Signature, ...]) -> Any:
+    """The payload that the next signature of a chain binds to.
+
+    Exposed so adversaries can build chains by hand with faulty keys — the
+    model explicitly allows colluding faulty processors to fabricate any
+    message carrying only their own signatures.
+    """
+    return ("chain-link", value, prefix)
+
+
+@dataclass(frozen=True, slots=True)
+class SignatureChain:
+    """A value with an ordered tuple of signatures over it.
+
+    Immutable; :meth:`extend` returns a new chain.  Construction does not
+    imply validity — receivers must call :meth:`verify`.
+    """
+
+    value: Value
+    signatures: tuple[Signature, ...] = ()
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def initial(
+        cls, value: Value, key: SigningKey, service: SignatureService
+    ) -> "SignatureChain":
+        """A fresh chain: *value* signed once by the holder of *key*."""
+        signature = service.sign(key, chain_body(value, ()))
+        return cls(value=value, signatures=(signature,))
+
+    def extend(self, key: SigningKey, service: SignatureService) -> "SignatureChain":
+        """Append the signature of *key*'s holder over the current chain."""
+        signature = service.sign(key, chain_body(self.value, self.signatures))
+        return SignatureChain(self.value, self.signatures + (signature,))
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def signers(self) -> tuple[ProcessorId, ...]:
+        """Signer ids in signing order."""
+        return tuple(sig.signer for sig in self.signatures)
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def has_signed(self, pid: ProcessorId) -> bool:
+        """True iff *pid* appears among the signers."""
+        return any(sig.signer == pid for sig in self.signatures)
+
+    # ------------------------------------------------------------ validation
+
+    def verify(self, service: SignatureService, *, distinct: bool = True) -> bool:
+        """Check that every link was legitimately signed in order.
+
+        With ``distinct=True`` (the default, and what every algorithm in the
+        paper requires) a repeated signer also invalidates the chain.
+        """
+        if distinct and len(set(self.signers)) != len(self.signatures):
+            return False
+        prefix: tuple[Signature, ...] = ()
+        for signature in self.signatures:
+            if not service.verify(signature, chain_body(self.value, prefix)):
+                return False
+            prefix = prefix + (signature,)
+        return True
+
+    def verify_prefix_signers(
+        self,
+        service: SignatureService,
+        allowed: frozenset[ProcessorId] | set[ProcessorId],
+    ) -> bool:
+        """Valid chain whose signers all come from *allowed*."""
+        return self.verify(service) and all(s in allowed for s in self.signers)
+
+
+def forge_chain(
+    value: Value,
+    signers: tuple[ProcessorId, ...],
+    keys: dict[ProcessorId, SigningKey],
+    service: SignatureService,
+) -> SignatureChain:
+    """Build a chain signed by *signers* using whatever keys are available.
+
+    For signers whose key is in *keys* (faulty colluders) a real signature is
+    produced; for the rest an unregistered forgery is inserted.  The result
+    verifies iff every signer's key was available — exactly the paper's
+    collusion model.
+    """
+    chain = SignatureChain(value)
+    for pid in signers:
+        if pid in keys:
+            chain = chain.extend(keys[pid], service)
+        else:
+            fake = service.forge(pid, chain_body(value, chain.signatures))
+            chain = SignatureChain(value, chain.signatures + (fake,))
+    return chain

@@ -1,0 +1,171 @@
+"""Simulated unforgeable signature scheme (the paper's "authentication").
+
+The paper assumes a signature scheme in the style of Diffie–Hellman [2] and
+RSA [16]: every processor can sign its messages so that *"every receiver
+will recognize them as being signed by it and no one can change the contents
+of a message or the signature undetectably"*, and faulty processors may
+collude — any message carrying only faulty processors' signatures can be
+fabricated by them.
+
+The reproduction replaces public-key cryptography with a **registry oracle**,
+which preserves exactly the properties the proofs use:
+
+* *Existential unforgeability*: :meth:`SignatureService.sign` requires the
+  signer's :class:`SigningKey`, a capability object handed out exactly once
+  per processor by the runner.  Correct processors' keys live only inside
+  their own runtime context, so no other party can produce their signatures.
+* *Collusion*: the adversary receives the keys of every faulty processor and
+  can therefore sign anything on their behalf — including retroactively and
+  for payloads a correct processor never saw.
+* *Verifiability*: anyone can call :meth:`SignatureService.verify`; no key is
+  needed to verify.
+
+The substitution is documented in DESIGN.md §4.  It is deterministic, free,
+and — unlike real crypto — lets tests *attempt* forgeries and assert they
+are rejected (:meth:`SignatureService.forge`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ForgeryError
+from repro.core.message import payload_digest
+from repro.core.types import ProcessorId
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """A signature of *signer* over a payload with the given digest.
+
+    Signatures are plain data and travel inside payloads; validity is not a
+    property of the object but of the registry — call
+    :meth:`SignatureService.verify` to check it.  (A faulty processor can
+    construct a ``Signature`` object naming anyone; verification is what
+    exposes the fake.)
+    """
+
+    signer: ProcessorId
+    digest: str
+
+
+class SigningKey:
+    """Capability to sign on behalf of one processor.
+
+    Only the :class:`SignatureService` can mint keys; holding the key *is*
+    the authorisation.  The runner gives each correct processor its own key
+    (inside its :class:`~repro.core.protocol.Context`) and gives the
+    adversary the keys of all faulty processors.
+    """
+
+    __slots__ = ("pid", "_service")
+
+    def __init__(self, pid: ProcessorId, service: "SignatureService") -> None:
+        self.pid = pid
+        self._service = service
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SigningKey(pid={self.pid})"
+
+
+class SignatureService:
+    """Registry-backed signature oracle shared by one simulated system.
+
+    One instance exists per run.  It records every ``(signer, digest)`` pair
+    produced through a legitimate :meth:`sign` call; :meth:`verify` simply
+    checks membership.  The number of legitimate signing operations is
+    tracked for diagnostics (this differs from the paper's *signatures sent*
+    metric, which counts signature occurrences inside sent messages — see
+    :mod:`repro.core.metrics`).
+    """
+
+    def __init__(self) -> None:
+        self._issued: set[tuple[ProcessorId, str]] = set()
+        self._keys: dict[ProcessorId, SigningKey] = {}
+        self._sign_operations = 0
+
+    # ------------------------------------------------------------------ keys
+
+    def key_for(self, pid: ProcessorId) -> SigningKey:
+        """Return the unique signing key of *pid* (minting it on first use).
+
+        Intended for the runner only; protocols and adversaries receive keys
+        through their contexts and must not call this.
+        """
+        if pid not in self._keys:
+            self._keys[pid] = SigningKey(pid, self)
+        return self._keys[pid]
+
+    # --------------------------------------------------------------- signing
+
+    def sign(self, key: SigningKey, payload: Any) -> Signature:
+        """Produce *key.pid*'s signature over *payload*.
+
+        Raises :class:`~repro.core.errors.ForgeryError` if *key* was not
+        minted by this service (e.g. a hand-built key, or a key from another
+        run's service).
+        """
+        if self._keys.get(key.pid) is not key:
+            raise ForgeryError(
+                f"key for processor {key.pid} was not issued by this service"
+            )
+        digest = payload_digest(payload)
+        self._issued.add((key.pid, digest))
+        self._sign_operations += 1
+        return Signature(signer=key.pid, digest=digest)
+
+    def endorse(self, key: SigningKey, digest: str) -> Signature:
+        """Sign a raw digest directly (no payload in hand).
+
+        Real signature schemes sign arbitrary byte strings, so a (faulty)
+        key holder can always endorse a digest it has seen even without a
+        canonical payload for it.  Replay adversaries use this to re-issue
+        their own signatures from a recorded history inside a new
+        execution — the recorded history *is* the execution being built,
+        so those signatures are genuine there (see
+        :mod:`repro.adversary.lowerbound`).  Correct processors never call
+        this; the runner only routes it through adversary-held keys.
+        """
+        if self._keys.get(key.pid) is not key:
+            raise ForgeryError(
+                f"key for processor {key.pid} was not issued by this service"
+            )
+        self._issued.add((key.pid, digest))
+        self._sign_operations += 1
+        return Signature(signer=key.pid, digest=digest)
+
+    def forge(self, signer: ProcessorId, payload: Any) -> Signature:
+        """Build a *fake* signature naming *signer*, without its key.
+
+        The result has the right digest but was never registered, so
+        :meth:`verify` rejects it.  Used by tests and adversaries to check
+        that algorithms actually verify what they receive.
+        """
+        return Signature(signer=signer, digest=payload_digest(payload))
+
+    # ----------------------------------------------------------- verification
+
+    def verify(self, signature: Signature, payload: Any) -> bool:
+        """True iff *signature* was legitimately produced over *payload*."""
+        if payload_digest(payload) != signature.digest:
+            return False
+        return (signature.signer, signature.digest) in self._issued
+
+    @property
+    def sign_operations(self) -> int:
+        """Number of legitimate signing operations performed so far."""
+        return self._sign_operations
+
+    def clone(self) -> "SignatureService":
+        """An independent copy of the registry with fresh keys.
+
+        Signatures issued in the original verify in the clone (the issued
+        set is copied), but signing through the clone does not affect the
+        original.  Used by the conformance checker, which replays protocol
+        logic against a recorded history without polluting the run's
+        registry.
+        """
+        copy = SignatureService()
+        copy._issued = set(self._issued)
+        return copy

@@ -1,0 +1,17 @@
+"""Logical topologies used by the paper's algorithms."""
+
+from repro.network.topology import (
+    BinaryTree,
+    BipartiteRelayGraph,
+    Grid,
+    TreeForest,
+    smallest_square_above,
+)
+
+__all__ = [
+    "BinaryTree",
+    "BipartiteRelayGraph",
+    "Grid",
+    "TreeForest",
+    "smallest_square_above",
+]

@@ -1,0 +1,57 @@
+"""Tests for ComposedAdversary."""
+
+import pytest
+
+from repro.adversary.standard import (
+    ComposedAdversary,
+    CrashAdversary,
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestComposedAdversary:
+    def test_faulty_set_is_the_union(self):
+        composed = ComposedAdversary(
+            [SilentAdversary([1]), GarbageAdversary([2, 3])]
+        )
+        assert composed.faulty == frozenset({1, 2, 3})
+
+    def test_overlapping_parts_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            ComposedAdversary([SilentAdversary([1]), GarbageAdversary([1])])
+
+    def test_empty_composition_is_fault_free(self):
+        composed = ComposedAdversary([])
+        result = run(DolevStrong(5, 1), 1, composed)
+        assert check_byzantine_agreement(result).ok
+        assert result.metrics.messages_by_faulty == 0
+
+    def test_each_part_acts_with_its_own_strategy(self):
+        composed = ComposedAdversary(
+            [
+                EquivocatingTransmitter(0, {q: q % 2 for q in range(1, 8)}),
+                SilentAdversary([3]),
+                GarbageAdversary([5], forge=False),
+            ]
+        )
+        result = run(DolevStrong(8, 3), 0, composed)
+        assert check_byzantine_agreement(result).ok
+        # the transmitter equivocated (sent something), 3 stayed silent,
+        # 5 sprayed garbage at everyone every phase.
+        sent = result.metrics.sent_per_processor
+        assert sent[0] > 0
+        assert sent[3] == 0
+        assert sent[5] == 7 * DolevStrong(8, 3).num_phases()
+
+    def test_agreement_under_mixed_faults(self):
+        composed = ComposedAdversary(
+            [CrashAdversary({1: 2}), GarbageAdversary([2])]
+        )
+        result = run(DolevStrong(8, 2), 1, composed)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1

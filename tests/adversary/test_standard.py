@@ -1,0 +1,112 @@
+"""Tests for the stock adversaries (repro.adversary.standard)."""
+
+from repro.adversary.standard import (
+    CrashAdversary,
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    ScriptedAdversary,
+    SelectiveSilenceAdversary,
+    SilentAdversary,
+    SimulatingAdversary,
+)
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestSimulatingAdversary:
+    def test_identity_hooks_behave_correctly(self):
+        """Faulty processors driven by unmodified protocol instances are
+        behaviourally correct — agreement must look exactly fault-free."""
+        baseline = run(DolevStrong(7, 2), 1)
+        shadowed = run(DolevStrong(7, 2), 1, SimulatingAdversary([2, 5]))
+        assert check_byzantine_agreement(shadowed).ok
+        assert shadowed.unanimous_value() == 1
+        # total traffic (correct + faulty) matches the fault-free run.
+        assert (
+            shadowed.metrics.total_messages == baseline.metrics.messages_by_correct
+        )
+
+    def test_simulated_accessor(self):
+        adversary = SimulatingAdversary([1])
+        run(DolevStrong(5, 1), 0, adversary)
+        assert adversary.simulated(1) is not None
+
+
+class TestCrashFamilies:
+    def test_silent_processors_send_nothing(self):
+        result = run(DolevStrong(7, 2), 1, SilentAdversary([1, 2]))
+        assert result.metrics.messages_by_faulty == 0
+        assert check_byzantine_agreement(result).ok
+
+    def test_crash_phase_respected(self):
+        adversary = CrashAdversary({1: 2})
+        result = run(DolevStrong(7, 2), 1, adversary)
+        faulty_phases = [
+            phase
+            for phase, count in result.metrics.messages_per_phase.items()
+            if any(e.src == 1 for p in result.history.phases[phase:phase+1] for e in p.edges())
+        ]
+        # processor 1 relays at phase 2 in Dolev-Strong; crashed at 2 → nothing.
+        assert result.metrics.messages_by_faulty == 0
+
+    def test_crash_after_start_allows_early_sends(self):
+        # crash the transmitter after phase 1: its broadcast still happens.
+        adversary = CrashAdversary({0: 2})
+        result = run(DolevStrong(5, 1), 1, adversary)
+        assert result.metrics.messages_by_faulty == 4
+        assert check_byzantine_agreement(result).ok
+
+
+class TestSelectiveSilence:
+    def test_muted_targets_receive_nothing_from_faulty(self):
+        adversary = SelectiveSilenceAdversary([1], muted=[3])
+        result = run(DolevStrong(7, 2), 1, adversary)
+        got_from_1 = [
+            edge
+            for phase in result.history.phases
+            for edge in phase.edges()
+            if edge.src == 1 and edge.dst == 3
+        ]
+        assert got_from_1 == []
+        assert check_byzantine_agreement(result).ok
+
+
+class TestEquivocatingTransmitter:
+    def test_destinations_see_assigned_values(self):
+        adversary = EquivocatingTransmitter(0, {1: 0, 2: 1, 3: 0, 4: 1})
+        result = run(DolevStrong(5, 1), 0, adversary)
+        phase1 = result.history.phases[1]
+        by_dst = {e.dst: e.label.value for e in phase1.edges() if e.src == 0}
+        assert by_dst == {1: 0, 2: 1, 3: 0, 4: 1}
+
+    def test_agreement_survives_equivocation(self):
+        adversary = EquivocatingTransmitter(0, {q: q % 2 for q in range(1, 7)})
+        result = run(DolevStrong(7, 1), 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+
+class TestScriptedAdversary:
+    def test_script_controls_every_send(self):
+        def script(view, env):
+            if view.phase == 1:
+                return [(1, 2, "custom")]
+            return []
+
+        result = run(DolevStrong(5, 1), 1, ScriptedAdversary([1], script))
+        phase1_sends = [e for e in result.history.phases[1].edges() if e.src == 1]
+        assert [(e.dst, e.label) for e in phase1_sends] == [(2, "custom")]
+
+
+class TestGarbageAdversary:
+    def test_forged_signatures_never_verify(self):
+        adversary = GarbageAdversary([1])
+        result = run(DolevStrong(7, 2), 1, adversary)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_garbage_floods_every_phase(self):
+        adversary = GarbageAdversary([1], forge=False)
+        result = run(DolevStrong(5, 1), 1, adversary)
+        # n-1 targets × num_phases.
+        assert result.metrics.messages_by_faulty == 4 * 2

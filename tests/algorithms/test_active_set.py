@@ -1,0 +1,82 @@
+"""Tests for the active-set O(nt + t²) baseline."""
+
+import pytest
+
+from repro.adversary.standard import (
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.core.errors import ConfigurationError
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestConfiguration:
+    def test_needs_2t_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            ActiveSetBroadcast(4, 2)
+
+    def test_phase_count(self):
+        assert ActiveSetBroadcast(20, 3).num_phases() == 5
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n,t", [(5, 1), (10, 2), (30, 3), (100, 2)])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_agreement(self, n, t, value):
+        result = run(ActiveSetBroadcast(n, t), value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+
+    def test_scales_linearly_in_n(self):
+        """The whole point of the active set: messages grow like nt, not n²."""
+        t = 2
+        small = run(ActiveSetBroadcast(20, t), 1).metrics.messages_by_correct
+        large = run(ActiveSetBroadcast(80, t), 1).metrics.messages_by_correct
+        # quadrupling n far less than quadruples the traffic growth beyond
+        # the inform fan-out (which is exactly (2t+1) per extra processor).
+        assert large - small == (2 * t + 1) * 60
+
+    def test_within_bound(self):
+        algorithm = ActiveSetBroadcast(50, 3)
+        result = run(algorithm, 1)
+        assert result.metrics.messages_by_correct <= algorithm.upper_bound_messages()
+
+
+class TestByzantineResilience:
+    def test_silent_actives(self):
+        result = run(ActiveSetBroadcast(20, 2), 1, SilentAdversary([1, 3]))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_equivocating_transmitter(self):
+        adversary = EquivocatingTransmitter(0, {q: q % 2 for q in range(1, 12)})
+        result = run(ActiveSetBroadcast(12, 2), 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+    def test_faulty_actives_cannot_deceive_passives(self):
+        """t faulty actives voting a wrong value at the inform phase cannot
+        reach the t+1 quorum passives require."""
+        t = 2
+
+        def script(view, env):
+            if view.phase == t + 2:
+                from repro.crypto.chains import SignatureChain
+
+                sends = []
+                for src in (1, 2):
+                    wrong = SignatureChain.initial(0, env.keys[src], env.service)
+                    sends.extend((src, q, wrong) for q in range(2 * t + 1, env.n))
+                return sends
+            return []
+
+        result = run(ActiveSetBroadcast(12, t), 1, ScriptedAdversary([1, 2], script))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_garbage(self):
+        result = run(ActiveSetBroadcast(15, 2), 1, GarbageAdversary([4, 9]))
+        assert check_byzantine_agreement(result).ok

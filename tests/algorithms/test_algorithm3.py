@@ -1,0 +1,169 @@
+"""Tests for Algorithm 3 (Lemma 1 / Theorem 5): the linear algorithm."""
+
+import pytest
+
+from repro.adversary.standard import (
+    CrashAdversary,
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.algorithm3 import Algorithm3, build_chain_sets
+from repro.bounds.formulas import lemma1_message_upper_bound, lemma1_phases
+from repro.core.errors import ConfigurationError
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestChainSets:
+    def test_partition_covers_all_passives(self):
+        sets = build_chain_sets(n=20, t=2, s=3)
+        members = [pid for cs in sets for pid in cs.members]
+        assert members == list(range(5, 20))
+        assert [cs.size for cs in sets] == [3, 3, 3, 3, 3]
+
+    def test_remainder_set(self):
+        sets = build_chain_sets(n=12, t=2, s=3)
+        assert [cs.size for cs in sets] == [3, 3, 1]
+
+    def test_roots_and_positions(self):
+        sets = build_chain_sets(n=11, t=2, s=3)
+        assert sets[0].root == 5
+        assert sets[0].position(6) == 2
+        assert sets[0].member(3) == 7
+
+
+class TestConfiguration:
+    def test_requires_enough_processors(self):
+        with pytest.raises(ConfigurationError):
+            Algorithm3(4, 2)
+
+    def test_default_s_is_theorem5(self):
+        assert Algorithm3(100, 3).s == 12
+
+    def test_phase_count_for_full_sets(self):
+        algorithm = Algorithm3(20, 2, s=3)
+        assert algorithm.num_phases() == lemma1_phases(2, 3)
+
+    def test_phase_count_shrinks_with_short_sets(self):
+        # only 3 passives: the single set has size 3 < s = 4, and the
+        # schedule shortens accordingly.
+        algorithm = Algorithm3(6, 1, s=4)
+        assert algorithm.num_phases() == lemma1_phases(1, 3)
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n,t,s", [(7, 1, 2), (20, 2, 3), (40, 2, 8), (30, 3, 12)])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_agreement_and_validity(self, n, t, s, value):
+        result = run(Algorithm3(n, t, s=s), value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+
+    @pytest.mark.parametrize("n,t,s", [(20, 2, 3), (50, 2, 8), (30, 1, 4)])
+    def test_within_lemma1_bound(self, n, t, s):
+        result = run(Algorithm3(n, t, s=s), 1)
+        assert result.metrics.messages_by_correct <= lemma1_message_upper_bound(n, t, s)
+
+    def test_no_passives_degenerates_to_algorithm1(self):
+        result = run(Algorithm3(5, 2, s=3), 1)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+
+class TestByzantineResilience:
+    def test_silent_roots_force_direct_delivery(self):
+        t, s = 2, 3
+        algorithm = Algorithm3(20, t, s=s)
+        roots = [cs.root for cs in algorithm.sets[:2]]
+        result = run(algorithm, 1, SilentAdversary(roots))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_silent_members_are_covered_by_actives(self):
+        t, s = 2, 4
+        algorithm = Algorithm3(20, t, s=s)
+        members = [algorithm.sets[0].member(2), algorithm.sets[1].member(3)]
+        result = run(algorithm, 1, SilentAdversary(members))
+        assert check_byzantine_agreement(result).ok
+
+    def test_lying_root_is_overridden_by_actives(self):
+        """A faulty root feeding its members the wrong value: the actives
+        see the wrong-value report and deliver the correct value directly."""
+        t, s = 2, 3
+        algorithm = Algorithm3(14, t, s=s)
+        root = algorithm.sets[0].root
+
+        def script(view, env):
+            from repro.crypto.chains import SignatureChain
+
+            offset = view.phase - env.t
+            if offset >= 4 and offset % 2 == 0:
+                k = offset // 2
+                chain_set = next(cs for cs in env.algorithm.sets if cs.root == root)
+                if k <= chain_set.size:
+                    wrong = SignatureChain.initial(0, env.keys[root], env.service)
+                    return [(root, chain_set.member(k), wrong)]
+            return []
+
+        result = run(algorithm, 1, ScriptedAdversary([root], script))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_equivocating_transmitter(self):
+        algorithm = Algorithm3(16, 2, s=3)
+        adversary = EquivocatingTransmitter(0, {q: q % 2 for q in range(1, 16)})
+        result = run(algorithm, 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+    def test_faulty_active_cannot_fool_members(self):
+        """≤ t faulty actives cannot assemble the t+1 endorsements a passive
+        member requires in the final phase."""
+        t, s = 2, 3
+        algorithm = Algorithm3(14, t, s=s)
+
+        def script(view, env):
+            from repro.crypto.chains import SignatureChain
+
+            if view.phase == algorithm.num_phases():
+                sends = []
+                for src in (1, 2):
+                    wrong = SignatureChain.initial(0, env.keys[src], env.service)
+                    sends.extend(
+                        (src, q, wrong) for q in range(2 * t + 1, env.n)
+                    )
+                return sends
+            return []
+
+        result = run(algorithm, 1, ScriptedAdversary([1, 2], script))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_garbage_resilience(self):
+        result = run(Algorithm3(20, 2, s=3), 1, GarbageAdversary([1, 6]))
+        assert check_byzantine_agreement(result).ok
+
+    def test_crash_resilience(self):
+        result = run(Algorithm3(20, 2, s=3), 1, CrashAdversary({5: 4, 1: 2}))
+        assert check_byzantine_agreement(result).ok
+
+
+class TestMessageEconomy:
+    def test_fault_free_chain_visits_each_member_twice(self):
+        """Within a set the root exchanges exactly 2 messages per member."""
+        n, t, s = 20, 2, 3
+        result = run(Algorithm3(n, t, s=s), 1)
+        m = n - (2 * t + 1)
+        r = -(-m // s)
+        expected_chain_traffic = 2 * (m - r)
+        chain_phases = range(t + 4, t + 2 * s + 2)
+        measured = sum(
+            result.metrics.messages_per_phase[p] for p in chain_phases
+        )
+        assert measured == expected_chain_traffic
+
+    def test_no_direct_deliveries_when_fault_free(self):
+        n, t, s = 20, 2, 3
+        result = run(Algorithm3(n, t, s=s), 1)
+        assert result.metrics.messages_per_phase[t + 2 * s + 3] == 0

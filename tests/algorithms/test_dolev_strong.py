@@ -1,0 +1,134 @@
+"""Tests for the classic Dolev–Strong baseline."""
+
+import pytest
+
+from repro.adversary.standard import (
+    CrashAdversary,
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.core.errors import ConfigurationError
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+from repro.crypto.chains import SignatureChain
+
+
+class TestConfiguration:
+    def test_rejects_t_equal_n_minus_one(self):
+        with pytest.raises(ConfigurationError):
+            DolevStrong(4, 3)
+
+    def test_phases_is_t_plus_one(self):
+        assert DolevStrong(7, 2).num_phases() == 3
+
+    def test_tolerates_t_zero(self):
+        result = run(DolevStrong(3, 0), 1)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_agreement_and_validity(self, n, t, value):
+        result = run(DolevStrong(n, t), value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+
+    def test_fault_free_message_count(self):
+        # transmitter broadcast + one relay per processor to non-signers.
+        result = run(DolevStrong(5, 1), 1)
+        assert result.metrics.messages_by_correct == 4 + 4 * 3
+
+    def test_within_paper_bound(self):
+        algorithm = DolevStrong(8, 2)
+        result = run(algorithm, 1)
+        assert result.metrics.messages_by_correct <= algorithm.upper_bound_messages()
+        assert (
+            result.metrics.signatures_by_correct
+            <= algorithm.upper_bound_signatures()
+        )
+
+    def test_every_message_signed(self):
+        result = run(DolevStrong(6, 2), 1)
+        assert result.metrics.unsigned_correct_messages == 0
+
+
+class TestByzantineResilience:
+    def test_silent_faults(self):
+        result = run(DolevStrong(7, 2), 1, SilentAdversary([3, 4]))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_silent_transmitter_decides_default(self):
+        result = run(DolevStrong(7, 2, default="fallback"), 1, SilentAdversary([0]))
+        assert result.unanimous_value() == "fallback"
+
+    def test_equivocating_transmitter(self):
+        adversary = EquivocatingTransmitter(0, {q: q % 2 for q in range(1, 7)})
+        result = run(DolevStrong(7, 1), 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+    def test_crash_mid_protocol(self):
+        result = run(DolevStrong(7, 2), 1, CrashAdversary({1: 2, 2: 3}))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_garbage_and_forgeries_ignored(self):
+        result = run(DolevStrong(7, 2), 1, GarbageAdversary([3, 5]))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_late_injection_of_short_chain_rejected(self):
+        """A valid 1-signature chain delivered at phase 3 is stale (phase-k
+        chains need k-1 signatures) and must be ignored."""
+
+        def script(view, env):
+            if view.phase == 2:
+                # faulty 1 re-sends the transmitter's phase-1 chain unsigned.
+                inbox = view.inbox(1)
+                if inbox:
+                    return [(1, q, inbox[0].payload) for q in range(2, env.n)]
+            return []
+
+        result = run(DolevStrong(7, 2), 1, ScriptedAdversary([1], script))
+        assert check_byzantine_agreement(result).ok
+
+    def test_faulty_cannot_fabricate_second_value(self):
+        """Two faulty processors cannot make a correct one extract a value
+        the transmitter never signed."""
+
+        def script(view, env):
+            chain = SignatureChain(0)
+            for pid in (1, 2):
+                chain = chain.extend(env.keys[pid], env.service)
+            return [(2, q, chain) for q in range(3, env.n)] if view.phase == 2 else []
+
+        result = run(DolevStrong(7, 2), 1, ScriptedAdversary([1, 2], script))
+        # the fabricated chain lacks the transmitter's first signature.
+        assert result.unanimous_value() == 1
+
+
+class TestExtractionRules:
+    def test_at_most_two_values_extracted(self):
+        def script(view, env):
+            if view.phase != 1:
+                return []
+            sends = []
+            for value in ("a", "b", "c"):
+                chain = SignatureChain.initial(value, env.keys[0], env.service)
+                sends.extend((0, q, chain) for q in range(1, env.n))
+            return sends
+
+        result = run(DolevStrong(5, 1), 0, ScriptedAdversary([0], script))
+        for pid, processor in result.processors.items():
+            assert len(processor.extracted) <= 2
+
+    def test_duplicate_chain_not_relayed_twice(self):
+        result = run(DolevStrong(5, 1), 1)
+        # each correct processor relays exactly once in the fault-free run.
+        for pid in range(1, 5):
+            assert result.metrics.sent_per_processor[pid] == 3

@@ -1,0 +1,90 @@
+"""Tests for InformedAlgorithm2 — the paper's n < α remedy."""
+
+import pytest
+
+from repro.adversary.standard import (
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.informed import InformedAlgorithm2
+from repro.core.errors import ConfigurationError
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+from repro.crypto.chains import SignatureChain
+
+
+class TestConfiguration:
+    def test_requires_2t_plus_1(self):
+        with pytest.raises(ConfigurationError):
+            InformedAlgorithm2(4, 2)
+
+    def test_phase_count_is_3t_plus_4(self):
+        assert InformedAlgorithm2(12, 2).num_phases() == 10
+
+    def test_bound_formula(self):
+        # 5t²+5t + (t+1)(n-2t-1) for n=12, t=2: 30 + 3·7 = 51.
+        assert InformedAlgorithm2(12, 2).upper_bound_messages() == 51
+
+    def test_degenerates_to_algorithm2_when_no_passives(self):
+        result = run(InformedAlgorithm2(5, 2), 1)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n,t", [(5, 2), (12, 2), (20, 3), (10, 4)])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_agreement_and_bound(self, n, t, value):
+        algorithm = InformedAlgorithm2(n, t)
+        result = run(algorithm, value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+        assert result.metrics.messages_by_correct <= algorithm.upper_bound_messages()
+
+    def test_cheaper_than_active_set_for_small_n(self):
+        """The point of the remedy: for n < α it undercuts the O(nt)
+        informing of the [9]-style baseline."""
+        from repro.algorithms.active_set import ActiveSetBroadcast
+
+        n, t = 14, 3  # n < α = 25
+        informed = run(InformedAlgorithm2(n, t), 1).metrics.messages_by_correct
+        baseline = run(ActiveSetBroadcast(n, t), 1).metrics.messages_by_correct
+        # the informing phase uses t+1 senders instead of 2t+1.
+        assert informed <= baseline + 5 * t * t  # Algorithm 2 core overhead
+
+
+class TestByzantineResilience:
+    def test_silent_informers(self):
+        """t of the t+1 informers silent: the one correct one suffices."""
+        n, t = 16, 3
+        result = run(InformedAlgorithm2(n, t), 1, SilentAdversary([0, 1, 2]))
+        assert check_byzantine_agreement(result).ok
+
+    def test_equivocating_transmitter(self):
+        n, t = 16, 3
+        adversary = EquivocatingTransmitter(0, {q: q % 2 for q in range(1, n)})
+        result = run(InformedAlgorithm2(n, t), 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+    def test_faulty_informers_cannot_fake_a_proof(self):
+        """t faulty informers sending a wrong-value chain with only their
+        own signatures fall short of the t+1 core-signature requirement."""
+        n, t = 16, 3
+
+        def script(view, env):
+            if view.phase == 3 * t + 4:
+                chain = SignatureChain(0)
+                for pid in (1, 2):
+                    chain = chain.extend(env.keys[pid], env.service)
+                return [(1, q, chain) for q in range(2 * t + 1, n)]
+            return []
+
+        result = run(InformedAlgorithm2(n, t), 1, ScriptedAdversary([1, 2], script))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_garbage(self):
+        result = run(InformedAlgorithm2(14, 2), 1, GarbageAdversary([3, 9]))
+        assert check_byzantine_agreement(result).ok

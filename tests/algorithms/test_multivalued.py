@@ -1,0 +1,88 @@
+"""Tests for the multivalued (bit-parallel) composition."""
+
+import pytest
+
+from repro.adversary.standard import (
+    EquivocatingTransmitter,
+    SilentAdversary,
+)
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.algorithms.multivalued import (
+    MultivaluedAgreement,
+    decode_bits,
+    encode_bits,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestBitCodec:
+    @pytest.mark.parametrize("value", [0, 1, 5, 12, 255])
+    def test_round_trip(self, value):
+        assert decode_bits(encode_bits(value, 8)) == value
+
+    def test_little_endian(self):
+        assert encode_bits(6, 4) == [0, 1, 1, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_bits(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_bits(-1, 4)
+
+
+def make(width=4, n=7, t=2, inner=DolevStrong):
+    return MultivaluedAgreement(n, t, width=width, inner_factory=inner)
+
+
+class TestMultivaluedAgreement:
+    @pytest.mark.parametrize("value", [0, 1, 7, 10, 15])
+    def test_fault_free_agreement(self, value):
+        result = run(make(), value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+
+    def test_name_and_phase_count_follow_inner(self):
+        algorithm = make()
+        assert algorithm.name == "multivalued-dolev-strong"
+        assert algorithm.num_phases() == DolevStrong(7, 2).num_phases()
+
+    def test_message_bound_is_width_times_inner(self):
+        algorithm = make(width=3)
+        assert (
+            algorithm.upper_bound_messages()
+            == 3 * DolevStrong(7, 2).upper_bound_messages()
+        )
+        result = run(algorithm, 5)
+        assert result.metrics.messages_by_correct <= algorithm.upper_bound_messages()
+
+    def test_silent_faults(self):
+        result = run(make(), 11, SilentAdversary([2, 4]))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 11
+
+    def test_equivocating_transmitter_still_agrees(self):
+        """Bit-mixing by a faulty transmitter may synthesize a value nobody
+        proposed — agreement must hold regardless."""
+        adversary = EquivocatingTransmitter(
+            0, {q: (5 if q < 4 else 10) for q in range(1, 7)}
+        )
+        result = run(make(), 5, adversary)
+        report = check_byzantine_agreement(result)
+        assert report.agreement and report.all_decided
+
+    def test_composes_with_algorithm1(self):
+        algorithm = MultivaluedAgreement(
+            7, 3, width=3, inner_factory=Algorithm1
+        )
+        result = run(algorithm, 6)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 6
+
+    def test_width_one_is_binary(self):
+        result = run(make(width=1), 1)
+        assert result.unanimous_value() == 1

@@ -1,0 +1,114 @@
+"""Tests for the unauthenticated OM(t)/EIG baseline."""
+
+import pytest
+
+from repro.adversary.standard import (
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.oral_messages import OralMessages, Relay
+from repro.core.errors import ConfigurationError
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("n,t", [(3, 1), (6, 2), (9, 3)])
+    def test_rejects_n_at_most_3t(self, n, t):
+        with pytest.raises(ConfigurationError, match="3t"):
+            OralMessages(n, t)
+
+    def test_phases_is_t_plus_one(self):
+        assert OralMessages(7, 2).num_phases() == 3
+
+    def test_uses_no_signatures(self):
+        result = run(OralMessages(7, 2), 1)
+        assert result.metrics.signatures_by_correct == 0
+        assert not OralMessages.authenticated
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_agreement(self, n, t, value):
+        result = run(OralMessages(n, t), value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+
+    @pytest.mark.parametrize("n,t", [(4, 1), (7, 2), (10, 3)])
+    def test_message_count_matches_closed_form(self, n, t):
+        algorithm = OralMessages(n, t)
+        result = run(algorithm, 1)
+        assert result.metrics.messages_by_correct == algorithm.upper_bound_messages()
+
+    def test_exponential_growth_with_t(self):
+        """The reason [10]'s polynomial algorithm matters: OM(t) explodes."""
+        counts = [
+            OralMessages(3 * t + 1, t).upper_bound_messages() for t in (1, 2, 3, 4)
+        ]
+        ratios = [b / a for a, b in zip(counts, counts[1:])]
+        assert all(r2 > r1 for r1, r2 in zip(ratios, ratios[1:]))
+
+
+class TestByzantineResilience:
+    def test_classic_3_general_impossibility_boundary(self):
+        """n = 4, t = 1 works — one fewer processor is rejected outright."""
+        adversary = EquivocatingTransmitter(0, {1: 0, 2: 1, 3: 0})
+        result = run(OralMessages(4, 1), 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+    @pytest.mark.parametrize("n,t", [(7, 2), (10, 3)])
+    def test_equivocating_transmitter(self, n, t):
+        adversary = EquivocatingTransmitter(0, {q: q % 2 for q in range(1, n)})
+        result = run(OralMessages(n, t), 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+    def test_silent_lieutenants(self):
+        result = run(OralMessages(7, 2), 1, SilentAdversary([1, 2]))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_lying_relays(self):
+        """Faulty lieutenants misreporting what the transmitter said are
+        outvoted by the recursive majority."""
+
+        def script(view, env):
+            if view.phase == 2:
+                lie = Relay(path=(0, 1), value=0)
+                return [(1, q, lie) for q in range(2, env.n)]
+            return []
+
+        result = run(OralMessages(7, 2), 1, ScriptedAdversary([1], script))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_path_spoofing_rejected(self):
+        """A relay whose path does not end in the true sender is dropped —
+        the receiver knows the immediate source."""
+
+        def script(view, env):
+            if view.phase == 2:
+                spoof = Relay(path=(0, 3), value=0)  # 3 is correct
+                return [(1, q, spoof) for q in range(2, env.n)]
+            return []
+
+        result = run(OralMessages(7, 2), 1, ScriptedAdversary([1], script))
+        assert result.unanimous_value() == 1
+        for processor in result.processors.values():
+            assert processor.tree.get((0, 3)) in (None, 1)
+
+    def test_duplicate_path_ids_rejected(self):
+        def script(view, env):
+            if view.phase == 2:
+                bad = Relay(path=(0, 1, 1), value=0)
+                return [(1, q, bad) for q in range(2, env.n)]
+            return []
+
+        result = run(OralMessages(7, 2), 1, ScriptedAdversary([1], script))
+        assert result.unanimous_value() == 1
+
+    def test_garbage(self):
+        result = run(OralMessages(7, 2), 1, GarbageAdversary([1], forge=False))
+        assert check_byzantine_agreement(result).ok

@@ -1,0 +1,109 @@
+"""Tests for the Phase King reference baseline (post-paper)."""
+
+import pytest
+
+from repro.adversary.standard import (
+    EquivocatingTransmitter,
+    GarbageAdversary,
+    RandomizedAdversary,
+    ScriptedAdversary,
+    SilentAdversary,
+)
+from repro.algorithms.phase_king import KingWord, PhaseKing, Preference
+from repro.core.errors import ConfigurationError
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize("n,t", [(4, 1), (8, 2), (12, 3)])
+    def test_rejects_n_at_most_4t(self, n, t):
+        with pytest.raises(ConfigurationError, match="4t"):
+            PhaseKing(n, t)
+
+    def test_phases(self):
+        assert PhaseKing(9, 2).num_phases() == 7
+
+    def test_unauthenticated(self):
+        result = run(PhaseKing(5, 1), 1)
+        assert result.metrics.signatures_by_correct == 0
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("n,t", [(5, 1), (9, 2), (13, 3)])
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_agreement(self, n, t, value):
+        algorithm = PhaseKing(n, t)
+        result = run(algorithm, value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+        assert result.metrics.messages_by_correct <= algorithm.upper_bound_messages()
+
+    def test_polynomial_vs_oral_messages(self):
+        """The reason it is here: a polynomial unauthenticated point."""
+        from repro.algorithms.oral_messages import OralMessages
+
+        n, t = 13, 3
+        pk = run(PhaseKing(n, t), 1).metrics.messages_by_correct
+        om = run(OralMessages(n, t), 1).metrics.messages_by_correct
+        assert pk < om / 5
+
+
+class TestByzantineResilience:
+    def test_faulty_kings(self):
+        """All t faulty processors are kings of early iterations; the last
+        king is correct and fixes everything."""
+        n, t = 9, 2
+        result = run(PhaseKing(n, t), 1, SilentAdversary([0, 1][:t]))
+        assert check_byzantine_agreement(result).ok
+
+    def test_equivocating_transmitter_and_first_king(self):
+        n, t = 9, 2
+        adversary = EquivocatingTransmitter(0, {q: q % 2 for q in range(1, n)})
+        result = run(PhaseKing(n, t), 0, adversary)
+        assert check_byzantine_agreement(result).ok
+
+    def test_lying_king_cannot_override_strong_preferences(self):
+        """A faulty king telling everyone the wrong value is ignored by
+        processors whose count reached n − t."""
+        n, t = 9, 2
+
+        def script(view, env):
+            # processor 1 (king of iteration 1) broadcasts a lie in its
+            # round B (phase 5) and otherwise stays correct-silent.
+            if view.phase == 5:
+                return [(1, q, KingWord("wrong")) for q in range(n) if q != 1]
+            return []
+
+        result = run(PhaseKing(n, t), 1, ScriptedAdversary([1], script))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_double_voting_rejected(self):
+        """A faulty processor sending two different preferences in one
+        round is counted once."""
+        n, t = 9, 2
+
+        def script(view, env):
+            if view.phase % 2 == 0:  # round A phases are even
+                sends = []
+                for value in (0, 1):
+                    sends.extend(
+                        (1, q, Preference(value)) for q in range(2, n)
+                    )
+                return sends
+            return []
+
+        result = run(PhaseKing(n, t), 1, ScriptedAdversary([1], script))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    def test_garbage(self):
+        result = run(PhaseKing(9, 2), 1, GarbageAdversary([3, 4], forge=False))
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_chaos(self, seed):
+        result = run(PhaseKing(9, 2), seed % 2, RandomizedAdversary([1, 5], seed))
+        assert check_byzantine_agreement(result).ok

@@ -1,0 +1,60 @@
+"""Tests for the algorithm registry."""
+
+import pytest
+
+from repro.algorithms.registry import ALGORITHMS, STRAWMEN, get
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestRegistryContents:
+    def test_all_paper_algorithms_registered(self):
+        assert {
+            "dolev-strong",
+            "active-set",
+            "oral-messages",
+            "algorithm-1",
+            "algorithm-2",
+            "algorithm-3",
+            "algorithm-5",
+        } <= set(ALGORITHMS)
+
+    def test_strawmen_kept_separate(self):
+        assert set(STRAWMEN) & set(ALGORITHMS) == set()
+        assert "strawman-undersigning" in STRAWMEN
+
+    def test_names_match_instances(self):
+        for name, info in ALGORITHMS.items():
+            if name == "algorithm-1" or name == "algorithm-2":
+                instance = info(5, 2)
+            elif name == "oral-messages":
+                instance = info(7, 2)
+            else:
+                instance = info(20, 2)
+            assert instance.name == name
+            assert instance.authenticated == info.authenticated
+
+    def test_get_falls_back_to_strawmen(self):
+        assert get("strawman-echo").name == "strawman-echo"
+
+    def test_get_unknown_raises_with_catalogue(self):
+        with pytest.raises(KeyError, match="algorithm-1"):
+            get("no-such-algorithm")
+
+
+class TestRegistryConstruction:
+    def test_every_registered_algorithm_reaches_agreement(self):
+        sizing = {
+            "algorithm-1": (7, 3),
+            "algorithm-2": (7, 3),
+            "oral-messages": (7, 2),
+        }
+        for name, info in ALGORITHMS.items():
+            n, t = sizing.get(name, (20, 2))
+            result = run(info(n, t), 1)
+            assert check_byzantine_agreement(result).ok, name
+            assert result.unanimous_value() == 1, name
+
+    def test_params_forwarded(self):
+        algorithm = get("algorithm-3")(30, 2, s=5)
+        assert algorithm.s == 5

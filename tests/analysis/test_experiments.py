@@ -1,0 +1,62 @@
+"""Tests for the programmatic experiment runner."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_e4,
+    experiment_e5,
+    run_all_experiments,
+)
+from repro.analysis.report import ExperimentReport
+
+
+class TestIndividualExperiments:
+    def test_e4_standalone(self):
+        report = ExperimentReport()
+        experiment_e4(report)
+        assert len(report.records) == 1
+        assert report.records[0].holds
+        assert "Theorem 3" in report.records[0].experiment
+
+    def test_e5_standalone(self):
+        report = ExperimentReport()
+        experiment_e5(report)
+        assert report.all_hold
+
+
+class TestFullPass:
+    @pytest.fixture(scope="class")
+    def full_report(self):
+        return run_all_experiments()
+
+    def test_every_experiment_contributes(self, full_report):
+        assert len(full_report.records) >= len(ALL_EXPERIMENTS)
+
+    def test_all_claims_hold(self, full_report):
+        assert full_report.all_hold, [
+            r.experiment for r in full_report.failing()
+        ]
+
+    def test_coverage_of_all_paper_results(self, full_report):
+        text = full_report.to_markdown()
+        for needle in (
+            "Theorem 1",
+            "Corollary 1",
+            "Theorem 2",
+            "Theorem 3",
+            "Theorem 4",
+            "Lemma 1",
+            "Theorem 5",
+            "Theorem 6",
+            "Theorem 7",
+            "trade-off",
+            "comparison",
+            "ablation",
+        ):
+            assert needle in text, needle
+
+    def test_attacks_included(self, full_report):
+        attacks = [r for r in full_report.records if "attack" in r.experiment]
+        assert len(attacks) == 2
+        assert all(r.holds for r in attacks)

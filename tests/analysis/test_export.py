@@ -1,0 +1,61 @@
+"""Tests for the JSON exporters."""
+
+import json
+
+from repro.adversary.standard import SilentAdversary
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.analysis.experiments import run_all_experiments
+from repro.analysis.export import (
+    read_json,
+    report_to_dict,
+    run_to_dict,
+    sweep_to_dicts,
+    write_json,
+)
+from repro.analysis.sweep import measure
+from repro.core.runner import run
+
+
+class TestRunExport:
+    def test_round_trips_through_json(self):
+        result = run(DolevStrong(5, 1), 1, SilentAdversary([2]))
+        data = run_to_dict(result)
+        restored = json.loads(json.dumps(data))
+        assert restored["algorithm"] == "dolev-strong"
+        assert restored["faulty"] == [2]
+        assert restored["decisions"]["1"] == "1"
+        assert restored["metrics"]["messages_by_correct"] == (
+            result.metrics.messages_by_correct
+        )
+
+    def test_per_phase_breakdowns_serialised(self):
+        result = run(Algorithm1(5, 2), 1)
+        data = run_to_dict(result)
+        per_phase = data["metrics"]["messages_per_phase"]
+        assert sum(per_phase.values()) == result.metrics.total_messages
+
+
+class TestSweepExport:
+    def test_rows_are_json_safe(self):
+        points = [measure(DolevStrong(5, 1), v) for v in (0, 1)]
+        rows = sweep_to_dicts(points)
+        json.dumps(rows)  # must not raise
+        assert rows[0]["algorithm"] == "dolev-strong"
+        assert rows[0]["value"] == "0"
+
+
+class TestReportExport:
+    def test_report_serialises(self):
+        report = run_all_experiments()
+        data = report_to_dict(report)
+        json.dumps(data)
+        assert data["all_hold"] is True
+        assert len(data["records"]) == len(report.records)
+
+
+class TestFileIO:
+    def test_write_and_read(self, tmp_path):
+        path = write_json({"x": [1, 2]}, tmp_path / "out.json")
+        assert read_json(path) == {"x": [1, 2]}
+        assert path.read_text().endswith("\n")

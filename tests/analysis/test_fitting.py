@@ -1,0 +1,113 @@
+"""Tests for the numeric fitting and graph-export helpers."""
+
+import math
+
+import pytest
+
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm4 import Algorithm4
+from repro.analysis.fitting import (
+    crossover_point,
+    fit_linear,
+    fit_power,
+    history_to_networkx,
+)
+from repro.core.runner import run
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        fit = fit_linear([1, 2, 3, 4], [5, 7, 9, 11])
+        assert math.isclose(fit.slope, 2.0)
+        assert math.isclose(fit.intercept, 3.0)
+        assert math.isclose(fit.r_squared, 1.0)
+
+    def test_predict(self):
+        fit = fit_linear([0, 1], [1, 3])
+        assert math.isclose(fit.predict(10), 21.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1], [2])
+
+    def test_constant_data(self):
+        fit = fit_linear([1, 2, 3], [5, 5, 5])
+        assert math.isclose(fit.slope, 0.0, abs_tol=1e-9)
+        assert fit.r_squared == 1.0
+
+
+class TestPowerFit:
+    def test_exact_power_law_recovered(self):
+        xs = [1, 2, 4, 8]
+        ys = [3 * x**1.5 for x in xs]
+        fit = fit_power(xs, ys)
+        assert math.isclose(fit.exponent, 1.5, rel_tol=1e-9)
+        assert math.isclose(fit.coefficient, 3.0, rel_tol=1e-9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power([0, 1], [1, 2])
+
+    def test_algorithm4_grows_like_n_to_the_1_5(self):
+        """Theorem 6 as a fitted exponent.
+
+        Exactly 3(m−1)m² = 3N^1.5 − 3N: the −3N term makes the local
+        log-log slope approach 1.5 *from above* ((4.5√N − 3)/(3√N − 3) is
+        1.75 at N = 9, 1.56 at N = 100), so at simulation sizes the fitted
+        exponent sits a little above 1.5 — and well below 2.
+        """
+        points = []
+        for m in (3, 4, 5, 6, 7):
+            n = m * m
+            result = run(
+                Algorithm4(m, 1, {pid: pid for pid in range(n)}),
+                0,
+                record_history=False,
+            )
+            points.append((n, result.metrics.messages_by_correct))
+        fit = fit_power([p[0] for p in points], [p[1] for p in points])
+        assert 1.5 <= fit.exponent <= 1.8, fit
+        assert fit.r_squared > 0.99
+
+
+class TestCrossover:
+    def test_intersection(self):
+        a = fit_linear([0, 1], [0, 1])  # y = x
+        b = fit_linear([0, 1], [4, 4.5])  # y = 0.5x + 4
+        assert math.isclose(crossover_point(a, b), 8.0)
+
+    def test_parallel_lines(self):
+        a = fit_linear([0, 1], [0, 1])
+        b = fit_linear([0, 1], [2, 3])
+        assert crossover_point(a, b) is None
+
+
+class TestHistoryExport:
+    def test_multigraph_has_one_edge_per_message(self):
+        result = run(Algorithm1(5, 2), 1)
+        graph = history_to_networkx(result.history)
+        assert graph.number_of_edges() == result.metrics.total_messages
+
+    def test_collapsed_graph_weights(self):
+        result = run(Algorithm1(5, 2), 1)
+        graph = history_to_networkx(result.history, collapse_phases=True)
+        total = sum(data["weight"] for _, _, data in graph.edges(data=True))
+        assert total == result.metrics.total_messages
+
+    def test_relay_structure_is_bipartite_plus_transmitter(self):
+        """Algorithm 1's fault-free communication pattern: the transmitter
+        fans out, and all relays cross sides."""
+        result = run(Algorithm1(7, 3), 1)
+        graph = history_to_networkx(result.history, collapse_phases=True)
+        relay_graph = result.processors[1].graph
+        for src, dst in graph.edges():
+            assert relay_graph.has_edge(src, dst), (src, dst)
+
+    def test_edge_attributes(self):
+        result = run(Algorithm1(5, 2), 1)
+        graph = history_to_networkx(result.history)
+        phases = {data["phase"] for _, _, data in graph.edges(data=True)}
+        assert phases == {1, 2}
+        assert all(
+            data["signatures"] >= 1 for _, _, data in graph.edges(data=True)
+        )

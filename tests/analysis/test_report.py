@@ -1,0 +1,31 @@
+"""Tests for experiment records and reports."""
+
+from repro.analysis.report import ExperimentReport
+
+
+class TestExperimentReport:
+    def test_add_and_all_hold(self):
+        report = ExperimentReport()
+        report.add("E4 / Theorem 3", "≤ 2t²+2t msgs", "t=3", "24 ≤ 24", True)
+        report.add("E5 / Theorem 4", "≤ 5t²+5t msgs", "t=3", "60 ≤ 60", True)
+        assert report.all_hold
+        assert report.failing() == []
+
+    def test_failing_records_surface(self):
+        report = ExperimentReport()
+        report.add("E1", "claim", "setup", "violated", False)
+        assert not report.all_hold
+        assert len(report.failing()) == 1
+
+    def test_markdown_rendering(self):
+        report = ExperimentReport()
+        report.add("E4", "claim text", "t=2", "12 ≤ 12", True)
+        text = report.to_markdown()
+        assert "| experiment |" in text
+        assert "| E4 | claim text | t=2 | 12 ≤ 12 | yes |" in text
+        assert str(report) == text
+
+    def test_failures_render_loudly(self):
+        report = ExperimentReport()
+        report.add("E9", "c", "s", "m", False)
+        assert "| NO |" in report.to_markdown()

@@ -1,0 +1,67 @@
+"""Tests for the sweep harness."""
+
+from repro.adversary.standard import SilentAdversary
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.analysis.sweep import measure, sweep, worst_case
+
+import pytest
+
+
+class TestMeasure:
+    def test_point_fields(self):
+        point = measure(DolevStrong(5, 1), 1, params={"n": 5})
+        assert point.algorithm == "dolev-strong"
+        assert point.messages > 0
+        assert point.agreement_ok
+        assert point.param("n") == 5
+        assert point.param("missing", "x") == "x"
+
+    def test_as_row_merges_params(self):
+        point = measure(Algorithm1(5, 2), 1, params={"t": 2})
+        row = point.as_row()
+        assert row["algorithm"] == "algorithm-1"
+        assert row["t"] == 2
+        assert "messages" in row and "bound" in row
+
+
+class TestSweep:
+    def test_cartesian_product(self):
+        configurations = [
+            ({"t": t}, (lambda t=t: Algorithm1(2 * t + 1, t))) for t in (1, 2)
+        ]
+        points = sweep(
+            configurations,
+            values=(0, 1),
+            adversaries=(
+                ("fault-free", lambda alg: None),
+                ("silent-1", lambda alg: SilentAdversary([1])),
+            ),
+        )
+        assert len(points) == 2 * 2 * 2
+        assert all(p.agreement_ok for p in points)
+
+    def test_fresh_algorithm_per_point(self):
+        """Each measurement must use a fresh instance (state isolation)."""
+        counter = {"built": 0}
+
+        def factory():
+            counter["built"] += 1
+            return DolevStrong(4, 1)
+
+        sweep([({}, factory)], values=(0, 1))
+        assert counter["built"] == 2
+
+
+class TestWorstCase:
+    def test_maximises_messages(self):
+        points = sweep(
+            [({"t": t}, (lambda t=t: Algorithm1(2 * t + 1, t))) for t in (1, 2, 3)],
+            values=(1,),
+        )
+        worst = worst_case(points)
+        assert worst.param("t") == 3
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            worst_case([])

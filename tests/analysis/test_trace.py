@@ -1,0 +1,84 @@
+"""Tests for the trace renderer."""
+
+from repro.adversary.standard import SilentAdversary
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.analysis.trace import (
+    describe_payload,
+    phase_summary,
+    processor_summary,
+    render_trace,
+    trace_lines,
+)
+from repro.core.runner import run
+
+
+class TestDescribePayload:
+    def test_short_payloads_verbatim(self):
+        assert describe_payload(42) == "42"
+
+    def test_long_payloads_truncated(self):
+        text = describe_payload("x" * 200, max_length=20)
+        assert len(text) == 20 and text.endswith("...")
+
+
+class TestTraceLines:
+    def test_all_messages_present(self):
+        result = run(DolevStrong(4, 1), 1)
+        lines = trace_lines(result.history)
+        # input edge + every sent message.
+        assert len(lines) == 1 + result.metrics.total_messages
+
+    def test_processor_filter(self):
+        result = run(DolevStrong(4, 1), 1)
+        lines = trace_lines(result.history, processors={2})
+        assert all(line.src == 2 or line.dst == 2 for line in lines)
+
+    def test_phase_filter(self):
+        result = run(DolevStrong(4, 1), 1)
+        lines = trace_lines(result.history, phases=range(1, 2))
+        assert {line.phase for line in lines} == {1}
+
+    def test_signature_counts(self):
+        result = run(DolevStrong(4, 1), 1)
+        phase1 = [l for l in trace_lines(result.history) if l.phase == 1]
+        assert all(line.signatures == 1 for line in phase1)
+
+
+class TestRenderTrace:
+    def test_contains_phases_and_decisions(self):
+        result = run(Algorithm1(5, 2), 1)
+        text = render_trace(result)
+        assert "phase 0" in text and "phase 4" in text
+        assert "decisions:" in text
+        assert "input" in text
+
+    def test_faulty_senders_marked(self):
+        result = run(DolevStrong(5, 1), 1, SilentAdversary([0]))
+        text = render_trace(result)
+        assert "faulty=[0]" in text
+
+    def test_elision_of_busy_phases(self):
+        result = run(DolevStrong(8, 2), 1)
+        text = render_trace(result, max_messages_per_phase=3)
+        assert "more" in text
+
+    def test_silent_phases_marked(self):
+        result = run(DolevStrong(5, 1), 0, SilentAdversary([0]))
+        assert "(silent)" in render_trace(result)
+
+
+class TestSummaries:
+    def test_phase_summary_rows(self):
+        result = run(DolevStrong(5, 1), 1)
+        rows = phase_summary(result)
+        assert [row["phase"] for row in rows] == [1, 2]
+        assert sum(row["messages"] for row in rows) == result.metrics.total_messages
+
+    def test_processor_summary_roles(self):
+        result = run(DolevStrong(5, 1), 1, SilentAdversary([2]))
+        rows = processor_summary(result)
+        assert rows[0]["role"] == "transmitter/correct"
+        assert rows[2]["role"] == "faulty"
+        assert rows[2]["decision"] == "-"
+        assert rows[1]["decision"] == 1

@@ -1,0 +1,109 @@
+"""Tests for the closed-form bounds (repro.bounds.formulas)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bounds import formulas
+
+
+class TestLowerBounds:
+    def test_theorem1_value(self):
+        assert formulas.theorem1_signature_lower_bound(8, 3) == Fraction(8 * 4, 4)
+        assert formulas.corollary1_message_lower_bound(8, 3) == Fraction(8)
+
+    def test_theorem1_per_processor(self):
+        assert formulas.theorem1_per_processor_exchange(3) == 4
+
+    @pytest.mark.parametrize(
+        "n,t,expected",
+        [
+            (9, 1, 4),  # max{4, 1·2} = 4
+            (5, 4, 9),  # max{2, 3·3} = 9
+            (100, 2, 50),  # linear term dominates
+            (10, 6, 16),  # quadratic term: 4·4
+        ],
+    )
+    def test_theorem2_value(self, n, t, expected):
+        assert formulas.theorem2_message_lower_bound(n, t) == expected
+
+    @pytest.mark.parametrize("t,b,ignore,per", [(1, 1, 1, 2), (2, 2, 1, 2), (3, 2, 2, 3), (4, 3, 2, 3)])
+    def test_theorem2_construction_sizes(self, t, b, ignore, per):
+        assert formulas.theorem2_b_set_size(t) == b
+        assert formulas.theorem2_ignore_count(t) == ignore
+        assert formulas.theorem2_per_b_member_messages(t) == per
+
+    def test_b_set_fits_fault_budget(self):
+        for t in range(1, 50):
+            assert formulas.theorem2_b_set_size(t) <= t
+            # the switch history corrupts B - 1 + ⌈t/2⌉ processors — also ≤ t.
+            assert (
+                formulas.theorem2_b_set_size(t) - 1 + formulas.theorem2_ignore_count(t)
+                <= t
+            )
+
+
+class TestUpperBounds:
+    def test_theorem3(self):
+        assert formulas.theorem3_message_upper_bound(4) == 40
+        assert formulas.theorem3_phases(4) == 6
+
+    def test_theorem4(self):
+        assert formulas.theorem4_message_upper_bound(4) == 100
+        assert formulas.theorem4_phases(4) == 15
+
+    def test_lemma1(self):
+        assert formulas.lemma1_message_upper_bound(20, 2, 4) == 40 + 40 + 48
+        assert formulas.lemma1_phases(2, 4) == 13
+
+    def test_theorem5_is_lemma1_at_4t(self):
+        assert formulas.theorem5_message_upper_bound(50, 2) == (
+            formulas.lemma1_message_upper_bound(50, 2, 8)
+        )
+
+    def test_theorem6(self):
+        assert formulas.theorem6_message_upper_bound(4) == 144
+
+    def test_lemma2(self):
+        assert formulas.lemma2_success_set_size(16, 3) == 10
+
+    def test_lemma5_and_theorem7_scales(self):
+        # t² + ⌈t^1.5⌉·(bit_length(s)+1) + ⌈nt/s⌉ = 9 + 6·3 + 100.
+        assert formulas.lemma5_message_scale(100, 3, 3) == 9 + 18 + 100
+        assert formulas.theorem7_message_scale(100, 3) == 109
+        assert formulas.lemma5_phase_upper_bound(3, 3) == 23
+
+    def test_our_phase_bound_close_to_papers(self):
+        for t in (1, 2, 3):
+            for s in (1, 3, 7, 15):
+                ours = formulas.our_algorithm5_phase_bound(t, s)
+                papers = formulas.lemma5_phase_upper_bound(t, s)
+                assert ours <= papers + s.bit_length() + 4
+
+    def test_alpha(self):
+        assert formulas.smallest_alpha(1) == 9
+        assert formulas.smallest_alpha(2) == 16
+        assert formulas.smallest_alpha(4) == 25
+        assert formulas.smallest_alpha(6) == 49
+
+    def test_tradeoff(self):
+        assert formulas.tradeoff_phases(8, 2) == 15
+        assert formulas.tradeoff_message_scale(100, 2) == 200
+
+
+class TestCrossRelations:
+    def test_theorem7_matches_theorem2_shape(self):
+        """The headline: the O(n + t²) upper bound meets the Ω(n + t²)
+        lower bound — their ratio is bounded across the whole range."""
+        ratios = []
+        for n, t in [(10, 1), (50, 3), (200, 5), (1000, 10), (100, 7)]:
+            upper = formulas.theorem7_message_scale(n, t)
+            lower = formulas.theorem2_message_lower_bound(n, t)
+            ratios.append(upper / lower)
+        assert max(ratios) <= 8  # fixed constant, independent of n and t
+
+    def test_signature_bound_exceeds_message_bound_for_large_t(self):
+        # Ω(nt) signatures vs Ω(n + t²) messages: for t ≪ n signatures win.
+        assert formulas.theorem1_signature_lower_bound(1000, 10) > (
+            formulas.theorem2_message_lower_bound(1000, 10)
+        )

@@ -1,0 +1,92 @@
+"""Tests for the executable Theorem 2 (message lower bound)."""
+
+import pytest
+
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.algorithms.cheap_strawman import UnderSigningBroadcast
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.bounds.formulas import theorem2_ignore_count
+from repro.bounds.theorem2 import (
+    empty_view_decision,
+    pick_starved_value,
+    sensitivity_set,
+    theorem2_experiment,
+)
+
+
+class TestSensitivity:
+    def test_empty_view_decision_is_the_default(self):
+        assert empty_view_decision(DolevStrong(5, 1), 2) == 0
+        assert empty_view_decision(Algorithm1(5, 2), 3) == 0
+
+    def test_sensitivity_set_for_value_one_is_everyone(self):
+        algorithm = DolevStrong(6, 2)
+        assert sensitivity_set(algorithm, 1) == list(range(1, 6))
+
+    def test_sensitivity_set_for_the_default_is_empty(self):
+        algorithm = DolevStrong(6, 2)
+        assert sensitivity_set(algorithm, 0) == []
+
+    def test_pigeonhole_guarantee(self):
+        """One of the two values always has |Q| ≥ ⌈(n−1)/2⌉."""
+        for factory in (lambda: DolevStrong(7, 2), lambda: Algorithm1(5, 2)):
+            algorithm = factory()
+            _, q = pick_starved_value(algorithm)
+            assert len(q) >= (algorithm.n - 1 + 1) // 2
+
+
+class TestCorrectAlgorithmsRespectTheBound:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: DolevStrong(8, 2),
+            lambda: ActiveSetBroadcast(14, 2),
+            lambda: Algorithm1(5, 2),
+            lambda: Algorithm1(9, 4),
+            lambda: Algorithm3(20, 2, s=3),
+            lambda: Algorithm5(20, 2, s=3),
+        ],
+        ids=["ds", "as", "a1-small", "a1-large", "a3", "a5"],
+    )
+    def test_b_members_are_fed_enough(self, factory):
+        report = theorem2_experiment(factory)
+        assert report.min_received >= report.per_member_requirement
+        assert not report.starvable
+        assert report.hprime_agreement_ok
+        assert report.attack is None
+
+    def test_fault_free_messages_exceed_combined_bound(self):
+        report = theorem2_experiment(lambda: Algorithm1(9, 4))
+        assert report.fault_free_messages >= report.bound
+
+
+class TestStrawmanIsBroken:
+    @pytest.mark.parametrize("n,t", [(8, 2), (10, 3), (12, 4)])
+    def test_switch_attack_succeeds(self, n, t):
+        report = theorem2_experiment(lambda: UnderSigningBroadcast(n, t))
+        assert report.starvable
+        attack = report.attack
+        assert attack is not None
+        # the target saw literally nothing.
+        assert attack.target_messages_received == 0
+        assert attack.agreement_violated
+        # the faulty set respects the budget: |B| - 1 + |A(p)| ≤ t.
+        assert len(attack.faulty) <= t
+
+    def test_t1_strawman_not_starvable_by_this_construction(self):
+        """For t = 1 the ignore count is 1 and B = {one processor}: the
+        strawman feeds it exactly 1 ≥ ⌈1 + t/2⌉ − 1 message... the switch
+        precondition (received ≤ ⌈t/2⌉ = 1) still triggers."""
+        report = theorem2_experiment(lambda: UnderSigningBroadcast(6, 1))
+        assert report.min_received <= theorem2_ignore_count(1)
+        assert report.attack is not None
+
+
+class TestCustomBSet:
+    def test_explicit_b_set_respected(self):
+        report = theorem2_experiment(lambda: DolevStrong(8, 2), b_set=(3, 5))
+        assert report.b_set == (3, 5)
+        assert set(report.received_by_b) == {3, 5}

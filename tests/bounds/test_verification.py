@@ -1,0 +1,60 @@
+"""Tests for the bound-verification harness."""
+
+from repro.adversary.standard import SilentAdversary
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.bounds.verification import (
+    check_grid,
+    check_scenario,
+    check_signature_budget,
+)
+
+
+class TestCheckScenario:
+    def test_fault_free_record(self):
+        record = check_scenario(lambda: DolevStrong(6, 2), 1)
+        assert record.ok
+        assert record.algorithm == "dolev-strong"
+        assert record.adversary == "fault-free"
+        assert record.messages > 0
+        assert record.within_upper_bound
+
+    def test_adversarial_record(self):
+        record = check_scenario(
+            lambda: Algorithm1(5, 2),
+            1,
+            lambda alg: SilentAdversary([1]),
+            adversary_name="silent-1",
+        )
+        assert record.ok and record.adversary == "silent-1"
+
+    def test_phase_overrun_detected(self):
+        record = check_scenario(lambda: DolevStrong(6, 2), 1)
+        assert record.phases_used <= record.phases_configured
+
+
+class TestCheckGrid:
+    def test_grid_covers_product(self):
+        records = check_grid(
+            [lambda: DolevStrong(5, 1), lambda: Algorithm1(5, 2)],
+            values=(0, 1),
+            adversaries=(
+                ("fault-free", lambda alg: None),
+                ("silent-1", lambda alg: SilentAdversary([1])),
+            ),
+        )
+        assert len(records) == 2 * 2 * 2
+        assert all(r.ok for r in records), [r.violations for r in records if not r.ok]
+
+
+class TestSignatureBudget:
+    def test_correct_algorithm_passes(self):
+        ok, reason = check_signature_budget(lambda: DolevStrong(6, 2))
+        assert ok, reason
+
+    def test_strawman_fails(self):
+        from repro.algorithms.cheap_strawman import UnderSigningBroadcast
+
+        ok, reason = check_signature_budget(lambda: UnderSigningBroadcast(6, 2))
+        assert not ok
+        assert "splittable" in reason

@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import Context
+from repro.core.types import TRANSMITTER
+from repro.crypto.signatures import SignatureService
+
+
+def make_context(
+    pid: int = 0,
+    n: int = 5,
+    t: int = 1,
+    service: SignatureService | None = None,
+) -> Context:
+    """A standalone processor context backed by a (shared) service."""
+    service = service if service is not None else SignatureService()
+    return Context(
+        pid=pid,
+        n=n,
+        t=t,
+        transmitter=TRANSMITTER,
+        key=service.key_for(pid),
+        service=service,
+    )
+
+
+@pytest.fixture
+def service() -> SignatureService:
+    return SignatureService()
+
+
+@pytest.fixture
+def ctx(service: SignatureService) -> Context:
+    return make_context(service=service)

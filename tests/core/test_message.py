@@ -1,0 +1,101 @@
+"""Tests for repro.core.message: envelopes, canonical forms, digests."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.message import (
+    CanonicalisationError,
+    Envelope,
+    canonical,
+    iter_payload_parts,
+    payload_digest,
+)
+from repro.core.types import INPUT_SOURCE
+
+
+@dataclass(frozen=True)
+class Sample:
+    a: int
+    b: tuple
+
+
+class TestEnvelope:
+    def test_fields(self):
+        env = Envelope(src=1, dst=2, phase=3, payload="hello")
+        assert (env.src, env.dst, env.phase, env.payload) == (1, 2, 3, "hello")
+
+    def test_is_immutable(self):
+        env = Envelope(src=1, dst=2, phase=3, payload="x")
+        with pytest.raises(AttributeError):
+            env.src = 9  # type: ignore[misc]
+
+    def test_input_edge_detection(self):
+        assert Envelope(INPUT_SOURCE, 0, 0, 1).is_input_edge()
+        assert not Envelope(0, 1, 1, 1).is_input_edge()
+        assert not Envelope(INPUT_SOURCE, 0, 2, 1).is_input_edge()
+
+
+class TestCanonical:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "s", b"b"):
+            assert canonical(value) == value
+
+    def test_tuple_and_list_do_not_collide(self):
+        assert canonical((1, 2)) != canonical([1, 2])
+
+    def test_set_order_is_irrelevant(self):
+        assert canonical(frozenset({3, 1, 2})) == canonical(frozenset({2, 3, 1}))
+
+    def test_set_and_tuple_do_not_collide(self):
+        assert canonical(frozenset({1})) != canonical((1,))
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_dataclasses_canonicalise_by_field(self):
+        assert canonical(Sample(1, (2,))) == canonical(Sample(1, (2,)))
+        assert canonical(Sample(1, (2,))) != canonical(Sample(1, (3,)))
+
+    def test_dataclass_type_is_part_of_identity(self):
+        @dataclass(frozen=True)
+        class Other:
+            a: int
+            b: tuple
+
+        assert canonical(Sample(1, ())) != canonical(Other(1, ()))
+
+    def test_nested_structures(self):
+        payload = ("tag", [1, {2: (3, 4)}], Sample(5, (6,)))
+        assert canonical(payload) == canonical(("tag", [1, {2: (3, 4)}], Sample(5, (6,))))
+
+    def test_uncanonicalisable_object_raises(self):
+        with pytest.raises(CanonicalisationError):
+            canonical(object())
+
+
+class TestPayloadDigest:
+    def test_deterministic(self):
+        assert payload_digest((1, "a")) == payload_digest((1, "a"))
+
+    def test_distinguishes_payloads(self):
+        assert payload_digest((1, "a")) != payload_digest((1, "b"))
+
+    def test_fixed_length_hex(self):
+        digest = payload_digest("anything")
+        assert len(digest) == 16
+        int(digest, 16)  # parses as hex
+
+
+class TestIterPayloadParts:
+    def test_yields_self_first(self):
+        assert next(iter_payload_parts(42)) == 42
+
+    def test_walks_tuples_and_dicts(self):
+        parts = list(iter_payload_parts(("a", {"k": "v"})))
+        assert "a" in parts and "k" in parts and "v" in parts
+
+    def test_walks_dataclasses(self):
+        sample = Sample(7, (8, 9))
+        parts = list(iter_payload_parts(sample))
+        assert sample in parts and 7 in parts and 8 in parts and 9 in parts

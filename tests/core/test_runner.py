@@ -1,0 +1,269 @@
+"""Tests for the lock-step runner (repro.core.runner)."""
+
+from typing import Iterable, Sequence
+
+import pytest
+
+from repro.adversary.base import Adversary, NullAdversary, PhaseView
+from repro.core.errors import (
+    AdversaryError,
+    ConfigurationError,
+    ProtocolViolationError,
+)
+from repro.core.message import Envelope, Outgoing
+from repro.core.protocol import AgreementAlgorithm, Processor
+from repro.core.runner import run
+from repro.core.types import ProcessorId, Value
+
+
+class EchoProcessor(Processor):
+    """Phase 1: transmitter broadcasts its input; everyone records inboxes."""
+
+    def __init__(self) -> None:
+        self.log: list[tuple[int, tuple]] = []
+        self.final: tuple = ()
+        self.value: Value | None = None
+
+    def on_phase(self, phase: int, inbox: Sequence[Envelope]) -> Iterable[Outgoing]:
+        self.log.append((phase, tuple(inbox)))
+        if phase == 1 and self.ctx.pid == self.ctx.transmitter:
+            self.value = inbox[0].payload
+            return [(q, self.value) for q in self.ctx.others()]
+        for envelope in inbox:
+            if not envelope.is_input_edge():
+                self.value = envelope.payload
+        return []
+
+    def on_final(self, inbox: Sequence[Envelope]) -> None:
+        self.final = tuple(inbox)
+        for envelope in inbox:
+            self.value = envelope.payload
+
+    def decision(self) -> Value | None:
+        return self.value
+
+
+class EchoAlgorithm(AgreementAlgorithm):
+    name = "echo-test"
+    authenticated = False
+
+    def __init__(self, n: int, t: int, phases: int = 2) -> None:
+        super().__init__(n, t)
+        self._phases = phases
+
+    def num_phases(self) -> int:
+        return self._phases
+
+    def make_processor(self, pid: ProcessorId) -> Processor:
+        return EchoProcessor()
+
+
+class TestPhaseSequencing:
+    def test_all_phases_executed_in_order(self):
+        result = run(EchoAlgorithm(3, 1, phases=4), "v")
+        assert [p for p, _ in result.processors[1].log] == [1, 2, 3, 4]
+
+    def test_input_edge_reaches_transmitter_at_phase_one(self):
+        result = run(EchoAlgorithm(3, 1), "v")
+        phase1_inbox = result.processors[0].log[0][1]
+        assert len(phase1_inbox) == 1 and phase1_inbox[0].is_input_edge()
+        assert phase1_inbox[0].payload == "v"
+
+    def test_messages_delivered_next_phase(self):
+        result = run(EchoAlgorithm(3, 1), "v")
+        # transmitter sends in phase 1; receivers see it at phase 2.
+        phase2_inbox = result.processors[1].log[1][1]
+        assert [e.payload for e in phase2_inbox] == ["v"]
+
+    def test_last_phase_messages_reach_on_final(self):
+        class LastPhaseSender(EchoProcessor):
+            def on_phase(self, phase, inbox):
+                sent = list(super().on_phase(phase, inbox))
+                if phase == 2 and self.ctx.pid == 1:
+                    sent.append((2, "late"))
+                return sent
+
+        class LateAlgorithm(EchoAlgorithm):
+            def make_processor(self, pid):
+                return LastPhaseSender()
+
+        result = run(LateAlgorithm(3, 1, phases=2), "v")
+        assert [e.payload for e in result.processors[2].final] == ["late"]
+
+    def test_decisions_collected_for_correct_only(self):
+        class OneFaulty(Adversary):
+            def __init__(self):
+                super().__init__([2])
+
+            def on_phase(self, view):
+                return []
+
+        result = run(EchoAlgorithm(4, 1), "v", OneFaulty())
+        assert set(result.decisions) == {0, 1, 3}
+
+
+class TestModelEnforcement:
+    def test_self_send_rejected(self):
+        class SelfSender(EchoProcessor):
+            def on_phase(self, phase, inbox):
+                return [(self.ctx.pid, "loop")]
+
+        class BadAlgorithm(EchoAlgorithm):
+            def make_processor(self, pid):
+                return SelfSender()
+
+        with pytest.raises(ProtocolViolationError, match="itself"):
+            run(BadAlgorithm(3, 1), "v")
+
+    def test_invalid_destination_rejected(self):
+        class WildSender(EchoProcessor):
+            def on_phase(self, phase, inbox):
+                return [(99, "off the map")]
+
+        class BadAlgorithm(EchoAlgorithm):
+            def make_processor(self, pid):
+                return WildSender()
+
+        with pytest.raises(ProtocolViolationError, match="non-existent"):
+            run(BadAlgorithm(3, 1), "v")
+
+    def test_adversary_cannot_exceed_fault_bound(self):
+        class TooMany(NullAdversary):
+            def __init__(self):
+                Adversary.__init__(self, [1, 2])
+
+        with pytest.raises(ConfigurationError, match="tolerate"):
+            run(EchoAlgorithm(4, 1), "v", TooMany())
+
+    def test_adversary_cannot_corrupt_unknown_processor(self):
+        class Phantom(NullAdversary):
+            def __init__(self):
+                Adversary.__init__(self, [7])
+
+        with pytest.raises(ConfigurationError, match="range"):
+            run(EchoAlgorithm(4, 2), "v", Phantom())
+
+    def test_adversary_cannot_spoof_correct_source(self):
+        class Spoofer(Adversary):
+            def __init__(self):
+                super().__init__([1])
+
+            def on_phase(self, view):
+                return [(0, 2, "forged source")]  # 0 is correct
+
+        with pytest.raises(AdversaryError, match="does not control"):
+            run(EchoAlgorithm(4, 1), "v", Spoofer())
+
+    def test_adversary_destination_validated(self):
+        class WildAdversary(Adversary):
+            def __init__(self):
+                super().__init__([1])
+
+            def on_phase(self, view):
+                return [(1, 1, "to self")]
+
+        with pytest.raises(AdversaryError, match="destination"):
+            run(EchoAlgorithm(4, 1), "v", WildAdversary())
+
+
+class TestAdversaryView:
+    def test_faulty_inboxes_visible(self):
+        seen: list[tuple[int, int]] = []
+
+        class Observer(Adversary):
+            def __init__(self):
+                super().__init__([1])
+
+            def on_phase(self, view: PhaseView):
+                seen.append((view.phase, len(view.inbox(1))))
+                return []
+
+        run(EchoAlgorithm(3, 1, phases=3), "v", Observer())
+        # the transmitter's broadcast reaches faulty 1 at phase 2.
+        assert (2, 1) in seen
+
+    def test_rushing_exposes_current_phase_traffic(self):
+        rushing_counts: list[int] = []
+
+        class Rusher(Adversary):
+            def __init__(self):
+                super().__init__([1])
+
+            def on_phase(self, view: PhaseView):
+                rushing_counts.append(len(view.rushing_outbox))
+                return []
+
+        run(EchoAlgorithm(3, 1), "v", Rusher(), rushing=True)
+        assert rushing_counts[0] == 2  # transmitter's phase-1 broadcast
+
+    def test_non_rushing_view_is_empty(self):
+        counts: list[int] = []
+
+        class Observer(Adversary):
+            def __init__(self):
+                super().__init__([1])
+
+            def on_phase(self, view: PhaseView):
+                counts.append(len(view.rushing_outbox))
+                return []
+
+        run(EchoAlgorithm(3, 1), "v", Observer())
+        assert counts == [0, 0]
+
+
+class TestValueDomain:
+    def test_binary_algorithms_reject_other_values(self):
+        from repro.algorithms.algorithm1 import Algorithm1
+
+        with pytest.raises(ConfigurationError, match="MultivaluedAgreement"):
+            run(Algorithm1(5, 2), "not-a-bit")
+
+    def test_open_domain_algorithms_accept_anything(self):
+        result = run(EchoAlgorithm(3, 1), ("rich", "payload"))
+        assert result.unanimous_value() == ("rich", "payload")
+
+    @pytest.mark.parametrize(
+        "name", ["algorithm-1", "algorithm-2", "algorithm-3", "algorithm-5",
+                 "informed-algorithm-2"]
+    )
+    def test_all_paper_algorithms_declare_binary_domain(self, name):
+        from repro.algorithms.registry import get
+
+        info = get(name)
+        sizing = {"algorithm-1": (5, 2), "algorithm-2": (5, 2)}
+        n, t = sizing.get(name, (20, 2))
+        assert info(n, t).value_domain == frozenset({0, 1})
+
+
+class TestResultContents:
+    def test_metrics_count_correct_traffic(self):
+        result = run(EchoAlgorithm(3, 1), "v")
+        assert result.metrics.messages_by_correct == 2
+        assert result.metrics.phases_configured == 2
+
+    def test_history_recorded(self):
+        result = run(EchoAlgorithm(3, 1), "v")
+        assert result.history.num_phases == 2
+        assert result.history.transmitter_value() == "v"
+
+    def test_record_history_false_skips_phases(self):
+        result = run(EchoAlgorithm(3, 1), "v", record_history=False)
+        assert result.history.num_phases == 0  # only the initial phase
+
+    def test_unanimous_value(self):
+        result = run(EchoAlgorithm(3, 1), "v")
+        assert result.unanimous_value() == "v"
+
+    def test_unanimous_value_raises_on_disagreement(self):
+        class Splitter(Adversary):
+            def __init__(self):
+                super().__init__([0])
+
+            def on_phase(self, view):
+                if view.phase == 1:
+                    return [(0, 1, "a"), (0, 2, "b")]
+                return []
+
+        result = run(EchoAlgorithm(3, 1), "v", Splitter())
+        with pytest.raises(ValueError, match="disagree"):
+            result.unanimous_value()

@@ -1,0 +1,69 @@
+"""Tests for repro.core.types."""
+
+import pytest
+
+from repro.core.types import (
+    BINARY_VALUES,
+    INPUT_SOURCE,
+    TRANSMITTER,
+    all_processors,
+    check_population,
+    check_processor_id,
+    other_processors,
+)
+
+
+class TestCheckPopulation:
+    def test_accepts_valid_configurations(self):
+        check_population(1, 0)
+        check_population(4, 1)
+        check_population(100, 99)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError, match="at least one"):
+            check_population(0, 0)
+
+    def test_rejects_negative_fault_bound(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_population(5, -1)
+
+    def test_rejects_fault_bound_equal_to_n(self):
+        with pytest.raises(ValueError, match="smaller than"):
+            check_population(5, 5)
+
+    def test_rejects_fault_bound_above_n(self):
+        with pytest.raises(ValueError):
+            check_population(3, 7)
+
+
+class TestCheckProcessorId:
+    def test_accepts_boundary_ids(self):
+        check_processor_id(0, 5)
+        check_processor_id(4, 5)
+
+    @pytest.mark.parametrize("pid", [-1, 5, 100])
+    def test_rejects_out_of_range(self, pid):
+        with pytest.raises(ValueError, match="out of range"):
+            check_processor_id(pid, 5)
+
+
+class TestConstants:
+    def test_transmitter_is_processor_zero(self):
+        assert TRANSMITTER == 0
+
+    def test_input_source_is_not_a_processor(self):
+        assert INPUT_SOURCE < 0
+
+    def test_binary_value_domain(self):
+        assert BINARY_VALUES == (0, 1)
+
+
+class TestEnumerations:
+    def test_all_processors(self):
+        assert list(all_processors(3)) == [0, 1, 2]
+
+    def test_other_processors_excludes_self(self):
+        assert other_processors(4, 2) == [0, 1, 3]
+
+    def test_other_processors_of_singleton_system(self):
+        assert other_processors(1, 0) == []

@@ -1,0 +1,78 @@
+"""Tests for the registry-oracle signature scheme."""
+
+import pytest
+
+from repro.core.errors import ForgeryError
+from repro.crypto.signatures import Signature, SignatureService, SigningKey
+
+
+class TestSigning:
+    def test_sign_verify_roundtrip(self, service):
+        key = service.key_for(3)
+        signature = service.sign(key, ("msg", 1))
+        assert signature.signer == 3
+        assert service.verify(signature, ("msg", 1))
+
+    def test_verify_rejects_other_payload(self, service):
+        key = service.key_for(0)
+        signature = service.sign(key, "a")
+        assert not service.verify(signature, "b")
+
+    def test_same_key_returned_per_processor(self, service):
+        assert service.key_for(1) is service.key_for(1)
+
+    def test_sign_operations_counted(self, service):
+        key = service.key_for(0)
+        service.sign(key, "x")
+        service.sign(key, "y")
+        assert service.sign_operations == 2
+
+
+class TestUnforgeability:
+    def test_hand_built_key_rejected(self, service):
+        fake = SigningKey(0, service)
+        with pytest.raises(ForgeryError):
+            service.sign(fake, "anything")
+
+    def test_key_from_other_service_rejected(self, service):
+        other = SignatureService()
+        foreign_key = other.key_for(0)
+        with pytest.raises(ForgeryError):
+            service.sign(foreign_key, "anything")
+
+    def test_forge_produces_non_verifying_signature(self, service):
+        fake = service.forge(5, "payload")
+        assert fake.signer == 5
+        assert not service.verify(fake, "payload")
+
+    def test_hand_built_signature_object_rejected(self, service):
+        # Signature is plain data — building one names a signer but does
+        # not make it valid.
+        from repro.core.message import payload_digest
+
+        fake = Signature(signer=2, digest=payload_digest("x"))
+        assert not service.verify(fake, "x")
+
+    def test_signature_valid_only_within_its_service(self, service):
+        other = SignatureService()
+        signature = service.sign(service.key_for(0), "x")
+        assert not other.verify(signature, "x")
+
+
+class TestEndorse:
+    def test_endorse_registers_a_raw_digest(self, service):
+        from repro.core.message import payload_digest
+
+        digest = payload_digest(("anything", 42))
+        signature = service.endorse(service.key_for(1), digest)
+        assert service.verify(signature, ("anything", 42))
+
+    def test_endorse_requires_the_real_key(self, service):
+        with pytest.raises(ForgeryError):
+            service.endorse(SigningKey(1, service), "00" * 8)
+
+    def test_endorsed_signature_bound_to_digest(self, service):
+        from repro.core.message import payload_digest
+
+        signature = service.endorse(service.key_for(1), payload_digest("x"))
+        assert not service.verify(signature, "y")

@@ -1,0 +1,148 @@
+"""Property-based fuzzing: Byzantine Agreement must hold under *every*
+randomized adversary, for every algorithm, at every tested size.
+
+These are the library's main invariant tests: a seeded
+:class:`~repro.adversary.standard.RandomizedAdversary` corrupts a random
+subset of up to ``t`` processors, randomly drops their inputs and outputs
+and injects garbage, and the run must still satisfy both BA conditions and
+stay within the paper's message bounds.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.standard import RandomizedAdversary
+from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.algorithms.algorithm2 import Algorithm2
+from repro.algorithms.algorithm3 import Algorithm3
+from repro.algorithms.algorithm5 import Algorithm5
+from repro.algorithms.dolev_strong import DolevStrong
+from repro.algorithms.oral_messages import OralMessages
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+def random_faulty(draw, n: int, t: int) -> list[int]:
+    size = draw(st.integers(0, t))
+    return draw(
+        st.lists(st.integers(0, n - 1), min_size=size, max_size=size, unique=True)
+    )
+
+
+@st.composite
+def fuzz_case(draw, n: int, t: int):
+    return (
+        random_faulty(draw, n, t),
+        draw(st.integers(0, 2**31)),
+        draw(st.sampled_from([0, 1])),
+    )
+
+
+def assert_ba(algorithm, case):
+    faulty, seed, value = case
+    adversary = RandomizedAdversary(faulty, seed) if faulty else None
+    result = run(algorithm, value, adversary)
+    report = check_byzantine_agreement(result)
+    assert report.ok, f"{algorithm.name}: {report}"
+    bound = algorithm.upper_bound_messages()
+    if bound is not None:
+        assert result.metrics.messages_by_correct <= bound
+    if algorithm.transmitter in result.correct:
+        assert result.unanimous_value() == value
+
+
+class TestDolevStrong:
+    @given(fuzz_case(n=6, t=2))
+    @settings(max_examples=40, deadline=None)
+    def test_ba_under_chaos(self, case):
+        assert_ba(DolevStrong(6, 2), case)
+
+
+class TestActiveSet:
+    @given(fuzz_case(n=12, t=2))
+    @settings(max_examples=30, deadline=None)
+    def test_ba_under_chaos(self, case):
+        assert_ba(ActiveSetBroadcast(12, 2), case)
+
+
+class TestOralMessages:
+    @given(fuzz_case(n=7, t=2))
+    @settings(max_examples=25, deadline=None)
+    def test_ba_under_chaos(self, case):
+        assert_ba(OralMessages(7, 2), case)
+
+
+class TestAlgorithm1:
+    @given(fuzz_case(n=7, t=3))
+    @settings(max_examples=40, deadline=None)
+    def test_ba_under_chaos(self, case):
+        assert_ba(Algorithm1(7, 3), case)
+
+
+class TestAlgorithm2:
+    @given(fuzz_case(n=7, t=3))
+    @settings(max_examples=30, deadline=None)
+    def test_ba_under_chaos(self, case):
+        assert_ba(Algorithm2(7, 3), case)
+
+    @given(fuzz_case(n=7, t=3))
+    @settings(max_examples=20, deadline=None)
+    def test_correct_processors_always_get_proofs(self, case):
+        faulty, seed, value = case
+        adversary = RandomizedAdversary(faulty, seed) if faulty else None
+        result = run(Algorithm2(7, 3), value, adversary)
+        if check_byzantine_agreement(result).ok:
+            for pid, processor in result.processors.items():
+                assert processor.has_agreement_proof(), pid
+
+
+class TestAlgorithm3:
+    @given(fuzz_case(n=16, t=2))
+    @settings(max_examples=25, deadline=None)
+    def test_ba_under_chaos(self, case):
+        assert_ba(Algorithm3(16, 2, s=3), case)
+
+
+class TestAlgorithm5:
+    @given(fuzz_case(n=24, t=2))
+    @settings(max_examples=20, deadline=None)
+    def test_ba_under_chaos(self, case):
+        assert_ba(Algorithm5(24, 2, s=3), case)
+
+
+class TestInformedAlgorithm2:
+    @given(fuzz_case(n=14, t=3))
+    @settings(max_examples=25, deadline=None)
+    def test_ba_under_chaos(self, case):
+        from repro.algorithms.informed import InformedAlgorithm2
+
+        assert_ba(InformedAlgorithm2(14, 3), case)
+
+
+class TestPhaseKing:
+    @given(fuzz_case(n=9, t=2))
+    @settings(max_examples=30, deadline=None)
+    def test_ba_under_chaos(self, case):
+        from repro.algorithms.phase_king import PhaseKing
+
+        assert_ba(PhaseKing(9, 2), case)
+
+
+class TestMultivalued:
+    @given(fuzz_case(n=7, t=2), st.integers(0, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_ba_under_chaos(self, case, value):
+        from repro.adversary.standard import RandomizedAdversary
+        from repro.algorithms.multivalued import MultivaluedAgreement
+
+        faulty, seed, _ = case
+        algorithm = MultivaluedAgreement(
+            7, 2, width=3, inner_factory=DolevStrong
+        )
+        adversary = RandomizedAdversary(faulty, seed) if faulty else None
+        result = run(algorithm, value, adversary)
+        report = check_byzantine_agreement(result)
+        assert report.ok, report
+        if algorithm.transmitter in result.correct:
+            assert result.unanimous_value() == value

@@ -1,0 +1,54 @@
+"""Property-based tests for canonicalisation and digests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.message import canonical, payload_digest
+
+# payloads built only from canonicalisable pieces.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**40), 2**40),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+payloads = st.recursive(
+    scalars,
+    lambda inner: st.one_of(
+        st.tuples(inner, inner),
+        st.lists(inner, max_size=4),
+        st.frozensets(scalars, max_size=4),
+        st.dictionaries(st.text(max_size=5), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalProperties:
+    @given(payloads)
+    def test_idempotent_under_reconstruction(self, payload):
+        """Structurally equal payloads canonicalise identically."""
+        import copy
+
+        assert canonical(payload) == canonical(copy.deepcopy(payload))
+
+    @given(payloads)
+    @settings(max_examples=60)
+    def test_digest_deterministic(self, payload):
+        assert payload_digest(payload) == payload_digest(payload)
+
+    @given(st.lists(payloads, min_size=2, max_size=6, unique_by=lambda p: repr(p)))
+    @settings(max_examples=60)
+    def test_distinct_reprs_rarely_collide(self, distinct):
+        """Digests of structurally distinct payloads do not collide (at
+        test scale a collision would mean a canonicalisation bug, since
+        sha256 cannot realistically collide here)."""
+        canonicals = {repr(canonical(p)) for p in distinct}
+        digests = {payload_digest(p) for p in distinct}
+        assert len(digests) == len(canonicals)
+
+    @given(st.frozensets(st.integers(0, 100), max_size=8))
+    def test_set_canonical_is_order_free(self, members):
+        shuffled = frozenset(sorted(members, reverse=True))
+        assert canonical(members) == canonical(shuffled)

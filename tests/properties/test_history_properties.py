@@ -1,0 +1,74 @@
+"""Property-based tests for the formal history model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.history import History, edge_payloads
+from repro.core.message import Envelope
+
+
+@st.composite
+def histories(draw, n=5, max_phases=4):
+    """Random histories over *n* processors."""
+    history = History.with_input(0, draw(st.integers(0, 1)))
+    num_phases = draw(st.integers(1, max_phases))
+    for phase in range(1, num_phases + 1):
+        pairs = draw(
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=8,
+            )
+        )
+        envelopes = [
+            Envelope(src=src, dst=dst, phase=phase, payload=(phase, src, dst, i))
+            for i, (src, dst) in enumerate(pairs)
+            if src != dst
+        ]
+        history.append_phase(envelopes)
+    return history
+
+
+class TestHistoryProperties:
+    @given(histories())
+    def test_individual_views_partition_every_edge(self, history):
+        """Every non-composite payload of every edge appears in exactly the
+        target's individual subhistory."""
+        n = 5
+        total_edges = sum(
+            len(phase) for phase in history.phases
+        )
+        total_in_views = sum(
+            len(history.individual(p).received_in_phase(k))
+            for p in range(n)
+            for k in range(len(history.phases))
+        )
+        assert total_in_views == total_edges
+
+    @given(histories())
+    def test_subhistory_views_are_prefixes(self, history):
+        for p in range(5):
+            full = history.individual(p)
+            for k in range(len(history.phases)):
+                sub = history.individual_subhistory(p, k)
+                assert sub.per_phase == full.per_phase[: k + 1]
+
+    @given(histories())
+    def test_equal_histories_have_equal_views(self, history):
+        for p in range(5):
+            assert history.individual(p) == history.individual(p)
+
+    @given(histories())
+    @settings(max_examples=50)
+    def test_edge_payload_merging_roundtrip(self, history):
+        """Composite labels decompose back into individual payloads."""
+        for phase in history.phases[1:]:
+            for edge in phase.edges():
+                payloads = edge_payloads(edge.label)
+                assert len(payloads) >= 1
+                for payload in payloads:
+                    assert isinstance(payload, tuple) and len(payload) == 4
+
+    @given(histories(), st.integers(0, 4))
+    def test_num_phases_consistent(self, history, p):
+        assert history.num_phases == len(history.phases) - 1
+        assert history.individual(p).num_phases == history.num_phases

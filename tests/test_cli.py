@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.algorithms.algorithm1 import Algorithm1
+from repro.cli import main, parse_adversary
+
+
+class TestParseAdversary:
+    @pytest.fixture
+    def algorithm(self):
+        return Algorithm1(7, 3)
+
+    def test_none(self, algorithm):
+        assert parse_adversary(None, algorithm) is None
+        assert parse_adversary("none", algorithm) is None
+
+    def test_silent(self, algorithm):
+        adversary = parse_adversary("silent:1,2", algorithm)
+        assert adversary.faulty == frozenset({1, 2})
+
+    def test_crash_with_phases(self, algorithm):
+        adversary = parse_adversary("crash:1@3,2", algorithm)
+        assert adversary.crash_phases == {1: 3, 2: 1}
+
+    def test_equivocate_targets_everyone(self, algorithm):
+        adversary = parse_adversary("equivocate", algorithm)
+        assert adversary.faulty == frozenset({0})
+        assert set(adversary.value_for) == set(range(1, 7))
+
+    def test_garbage(self, algorithm):
+        adversary = parse_adversary("garbage:3", algorithm)
+        assert adversary.faulty == frozenset({3})
+
+    def test_random(self, algorithm):
+        adversary = parse_adversary("random:42:1,2", algorithm)
+        assert adversary.faulty == frozenset({1, 2})
+
+    def test_unknown_spec_exits(self, algorithm):
+        with pytest.raises(SystemExit):
+            parse_adversary("quantum:1", algorithm)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm-5" in out and "strawman-undersigning" in out
+
+    def test_run_fault_free(self, capsys):
+        code = main(
+            ["run", "--algorithm", "algorithm-1", "--n", "5", "--t", "2",
+             "--value", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Byzantine Agreement holds" in out
+        assert "messages (correct)   : 12" in out
+
+    def test_run_with_adversary(self, capsys):
+        code = main(
+            ["run", "--algorithm", "dolev-strong", "--n", "7", "--t", "2",
+             "--adversary", "silent:1,2", "--value", "1"]
+        )
+        assert code == 0
+        assert "faulty               : [1, 2]" in capsys.readouterr().out
+
+    def test_run_with_s_parameter(self, capsys):
+        code = main(
+            ["run", "--algorithm", "algorithm-3", "--n", "20", "--t", "2",
+             "--s", "3"]
+        )
+        assert code == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--n", "16", "--t", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "active-set" in out and "algorithm-5" in out
+
+    def test_theorem1_on_correct_algorithm(self, capsys):
+        code = main(
+            ["theorem1", "--algorithm", "algorithm-1", "--n", "5", "--t", "2"]
+        )
+        assert code == 0
+        assert "not splittable" in capsys.readouterr().out
+
+    def test_theorem1_on_strawman(self, capsys):
+        code = main(
+            ["theorem1", "--algorithm", "strawman-undersigning",
+             "--n", "6", "--t", "2"]
+        )
+        assert code == 0
+        assert "agreement violated     : True" in capsys.readouterr().out
+
+    def test_theorem2_on_correct_algorithm(self, capsys):
+        code = main(
+            ["theorem2", "--algorithm", "algorithm-1", "--n", "9", "--t", "4"]
+        )
+        assert code == 0
+        assert "cannot be starved" in capsys.readouterr().out
+
+    def test_trace(self, capsys):
+        code = main(
+            ["trace", "--algorithm", "algorithm-1", "--n", "5", "--t", "2",
+             "--value", "1", "--max-messages", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase 1" in out and "decisions:" in out and "more" in out
+
+    def test_conformance(self, capsys):
+        code = main(
+            ["conformance", "--algorithm", "dolev-strong", "--n", "6",
+             "--t", "2", "--adversary", "silent:2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "behaviourally faulty: [2]" in out
+
+    def test_experiments(self, capsys):
+        code = main(["experiments"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all experiments reproduce" in out
+
+    def test_theorem2_on_strawman(self, capsys):
+        code = main(
+            ["theorem2", "--algorithm", "strawman-undersigning",
+             "--n", "8", "--t", "2"]
+        )
+        assert code == 0
+        assert "agreement violated     : True" in capsys.readouterr().out

@@ -1,0 +1,148 @@
+"""Cross-module integration tests.
+
+These exercise whole pipelines rather than single modules: Lemma 4's
+activation accounting inside Algorithm 5, determinism of complete runs,
+rushing-adversary mode, and the bounds-verification harness over the full
+algorithm registry.
+"""
+
+import pytest
+
+from repro.adversary.standard import (
+    RandomizedAdversary,
+    SilentAdversary,
+    SimulatingAdversary,
+)
+from repro.algorithms.algorithm5 import Algorithm5, Algorithm5Passive
+from repro.algorithms.registry import ALGORITHMS
+from repro.bounds.verification import check_grid, no_adversary
+from repro.core.runner import run
+from repro.core.validation import check_byzantine_agreement
+
+
+class TestLemma4ActivationBound:
+    """Lemma 4: in each tree C with b(C) faulty members, at most
+    2·b(C) + 1 processors get activated or are faulty."""
+
+    def activated_or_faulty_per_tree(self, algorithm, result):
+        counts = {}
+        for index, tree in enumerate(algorithm.forest.trees):
+            total = 0
+            for pid in tree.members:
+                if pid in result.faulty:
+                    total += 1
+                    continue
+                processor = result.processors[pid]
+                assert isinstance(processor, Algorithm5Passive)
+                if processor.activated_block is not None:
+                    total += 1
+            counts[index] = total
+        return counts
+
+    def faulty_per_tree(self, algorithm, faulty):
+        return {
+            index: sum(1 for pid in tree.members if pid in faulty)
+            for index, tree in enumerate(algorithm.forest.trees)
+        }
+
+    def check(self, n, t, s, faulty):
+        algorithm = Algorithm5(n, t, s=s)
+        result = run(algorithm, 1, SilentAdversary(faulty) if faulty else None)
+        assert check_byzantine_agreement(result).ok
+        activated = self.activated_or_faulty_per_tree(algorithm, result)
+        b = self.faulty_per_tree(algorithm, frozenset(faulty))
+        for index in activated:
+            assert activated[index] <= 2 * b[index] + 1, (
+                index,
+                activated[index],
+                b[index],
+            )
+
+    def test_fault_free_only_roots_activate(self):
+        self.check(40, 2, 7, faulty=[])
+
+    def test_one_faulty_root(self):
+        algorithm = Algorithm5(40, 2, s=7)
+        root = algorithm.forest.trees[0].root()
+        self.check(40, 2, 7, faulty=[root])
+
+    def test_faulty_root_and_internal_node(self):
+        algorithm = Algorithm5(40, 2, s=7)
+        tree = algorithm.forest.trees[0]
+        self.check(40, 2, 7, faulty=[tree.root(), tree.processor_at(2)])
+
+    def test_two_faulty_leaves(self):
+        algorithm = Algorithm5(46, 2, s=7)
+        tree = algorithm.forest.trees[0]
+        self.check(46, 2, 7, faulty=[tree.processor_at(4), tree.processor_at(6)])
+
+
+class TestDeterminism:
+    """Identical configurations produce identical executions — essential
+    for the replay-based lower-bound proofs."""
+
+    @pytest.mark.parametrize(
+        "name,n,t",
+        [("dolev-strong", 7, 2), ("algorithm-3", 16, 2), ("algorithm-5", 24, 2)],
+    )
+    def test_fault_free_runs_are_identical(self, name, n, t):
+        info = ALGORITHMS[name]
+        first = run(info(n, t), 1)
+        second = run(info(n, t), 1)
+        assert first.decisions == second.decisions
+        assert first.metrics.summary() == second.metrics.summary()
+        for pid in range(n):
+            assert first.history.individual(pid) == second.history.individual(pid)
+
+    def test_seeded_adversaries_are_deterministic(self):
+        info = ALGORITHMS["algorithm-1"]
+        runs = [
+            run(info(7, 3), 1, RandomizedAdversary([1, 4], seed=99))
+            for _ in range(2)
+        ]
+        assert runs[0].decisions == runs[1].decisions
+        assert (
+            runs[0].metrics.messages_by_faulty == runs[1].metrics.messages_by_faulty
+        )
+
+
+class TestRushingMode:
+    """The algorithms remain correct when the adversary sees the current
+    phase's correct traffic before choosing its own messages."""
+
+    @pytest.mark.parametrize(
+        "name,n,t",
+        [("dolev-strong", 7, 2), ("algorithm-1", 7, 3), ("algorithm-2", 7, 3)],
+    )
+    def test_simulating_adversary_under_rushing(self, name, n, t):
+        info = ALGORITHMS[name]
+        result = run(info(n, t), 1, SimulatingAdversary([1, 2]), rushing=True)
+        assert check_byzantine_agreement(result).ok
+        assert result.unanimous_value() == 1
+
+
+class TestFullRegistryGrid:
+    """Every registered algorithm × several adversaries × both values."""
+
+    def test_registry_wide_bounds_check(self):
+        sizing = {
+            "algorithm-1": (7, 3),
+            "algorithm-2": (7, 3),
+            "oral-messages": (7, 2),
+            "phase-king": (9, 2),
+        }
+        factories = []
+        for name, info in ALGORITHMS.items():
+            n, t = sizing.get(name, (18, 2))
+            factories.append(lambda info=info, n=n, t=t: info(n, t))
+        records = check_grid(
+            factories,
+            values=(0, 1),
+            adversaries=(
+                ("fault-free", no_adversary),
+                ("silent-1", lambda alg: SilentAdversary([1])),
+                ("shadow", lambda alg: SimulatingAdversary([1, 2][: alg.t])),
+            ),
+        )
+        bad = [r for r in records if not r.ok]
+        assert not bad, [(r.algorithm, r.adversary, r.violations) for r in bad]
