@@ -1,0 +1,15 @@
+PYTHON ?= python
+
+.PHONY: test lint check bench
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Protocol linter + ruff + mypy (the latter two only when installed).
+lint:
+	./scripts/check.sh
+
+check: lint test
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full static-analysis gate: the repo's own protocol linter, then the
+# conventional checkers when they are installed (pip install -e '.[lint]').
+# The protocol linter is dependency-free and always runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+status=0
+
+echo "== repro lint =="
+PYTHONPATH=src python -m repro lint src/repro || status=1
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests || status=1
+else
+    echo "== ruff == (not installed, skipped)"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "== mypy =="
+    mypy || status=1
+else
+    echo "== mypy == (not installed, skipped)"
+fi
+
+exit "$status"

@@ -95,6 +95,11 @@ class ActiveSetBroadcast(AgreementAlgorithm):
 
     name = "active-set"
     authenticated = True
+    phase_bound = "t + 2"
+    #: the Dolev–Strong core among ``2t + 1`` actives plus the informing
+    #: fan-out ``(2t + 1)(n − 2t − 1)``.
+    message_bound = "(2*t + 2*t * 2 * (2*t - 1)) + (2*t + 1) * (n - 2*t - 1)"
+    signature_bound = "unstated"
 
     def __init__(self, n: int, t: int, *, default: Value = DEFAULT_VALUE) -> None:
         super().__init__(n, t)
@@ -116,8 +121,3 @@ class ActiveSetBroadcast(AgreementAlgorithm):
             return ActiveSetActive(inner, tuple(range(2 * self.t + 1, self.n)))
         return ActiveSetPassive(self.actives, self.default)
 
-    def upper_bound_messages(self) -> int:
-        """Dolev–Strong core among ``2t + 1`` plus the informing fan-out."""
-        core = self._core.upper_bound_messages()
-        inform = (2 * self.t + 1) * (self.n - 2 * self.t - 1)
-        return core + inform

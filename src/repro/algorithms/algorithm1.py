@@ -121,6 +121,12 @@ class Algorithm1(AgreementAlgorithm):
     name = "algorithm-1"
     authenticated = True
     value_domain = frozenset({0, 1})
+    phase_bound = "theorem3_phases(t)"
+    message_bound = "theorem3_message_upper_bound(t)"
+    #: the transmitter sends ``2t`` one-signature chains; each of the ``2t``
+    #: others relays once to ``t`` targets, at most ``t + 2`` signatures per
+    #: relayed chain.
+    signature_bound = "2*t + 2*t*t*(t + 2)"
 
     def __init__(self, n: int, t: int) -> None:
         super().__init__(n, t)
@@ -138,14 +144,3 @@ class Algorithm1(AgreementAlgorithm):
         if pid == self.transmitter:
             return Algorithm1Transmitter()
         return Algorithm1Processor(self.graph)
-
-    def upper_bound_messages(self) -> int:
-        """``2t² + 2t``: the transmitter sends ``2t``; each of the ``2t``
-        others correctly sends at most one relay to ``t`` targets."""
-        return 2 * self.t * self.t + 2 * self.t
-
-    def upper_bound_signatures(self) -> int:
-        """Every relayed chain at phase ``k`` carries ``k ≤ t + 2``
-        signatures: ``2t`` one-signature sends plus ``2t·t`` relays of at
-        most ``t + 2`` signatures each."""
-        return 2 * self.t + 2 * self.t * self.t * (self.t + 2)

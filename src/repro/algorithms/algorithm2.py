@@ -177,6 +177,13 @@ class Algorithm2(Algorithm1):
 
     name = "algorithm-2"
     authenticated = True
+    phase_bound = "theorem4_phases(t)"
+    #: ``5t² + 5t``: Algorithm 1's ``2t² + 2t`` plus ``t(t+1)`` from labels
+    #: ``1..t`` and ``(t+1)·2t`` from the remaining labels.
+    message_bound = "theorem4_message_upper_bound(t)"
+    #: generous: every correct message is a signature chain no longer than
+    #: the phase in which it is sent (the paper bounds only messages here).
+    signature_bound = "theorem4_message_upper_bound(t) * theorem4_phases(t)"
 
     def num_phases(self) -> int:
         return 3 * self.t + 3
@@ -185,8 +192,3 @@ class Algorithm2(Algorithm1):
         if pid == self.transmitter:
             return Algorithm2Transmitter()
         return Algorithm2Processor(self.graph)
-
-    def upper_bound_messages(self) -> int:
-        """``5t² + 5t``: Algorithm 1's ``2t² + 2t`` plus ``t(t+1)`` from
-        labels ``1..t`` and ``(t+1)·2t`` from the remaining labels."""
-        return 5 * self.t * self.t + 5 * self.t

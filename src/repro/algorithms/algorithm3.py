@@ -119,7 +119,9 @@ def unique_majority_value(
     tally: dict[Value, set[ProcessorId]], threshold: int
 ) -> Value | None:
     """The single value endorsed by at least *threshold* distinct senders."""
-    winners = [v for v, who in tally.items() if len(who) >= threshold]
+    winners = sorted(
+        (v for v, who in tally.items() if len(who) >= threshold), key=repr
+    )
     return winners[0] if len(winners) == 1 else None
 
 
@@ -333,6 +335,11 @@ class Algorithm3(AgreementAlgorithm):
     name = "algorithm-3"
     authenticated = True
     value_domain = frozenset({0, 1})
+    phase_bound = "lemma1_phases(t, s)"
+    message_bound = "lemma1_message_upper_bound(n, t, s)"
+    #: generous: every correct message carries at most as many signatures
+    #: as the phase bound (the paper bounds only messages here).
+    signature_bound = "lemma1_message_upper_bound(n, t, s) * lemma1_phases(t, s)"
 
     def __init__(self, n: int, t: int, *, s: int | None = None) -> None:
         super().__init__(n, t)
@@ -361,7 +368,3 @@ class Algorithm3(AgreementAlgorithm):
         if pid == chain_set.root:
             return Algorithm3Root(chain_set, self.actives)
         return Algorithm3Member(chain_set, self.actives)
-
-    def upper_bound_messages(self) -> int:
-        """Lemma 1's bound ``2n + 4tn/s + 3t²s`` (integer-rounded up)."""
-        return 2 * self.n + -(-4 * self.t * self.n // self.s) + 3 * self.t * self.t * self.s

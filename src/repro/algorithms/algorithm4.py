@@ -210,6 +210,10 @@ class Algorithm4(AgreementAlgorithm):
 
     name = "algorithm-4"
     authenticated = True
+    phase_bound = "3"
+    #: ``3(m−1)m²``: each processor sends ``m − 1`` messages per phase.
+    message_bound = "theorem6_message_upper_bound(m)"
+    signature_bound = "unstated"
 
     def __init__(self, m: int, t: int, values: Mapping[ProcessorId, Value]) -> None:
         if m < 1:
@@ -227,10 +231,6 @@ class Algorithm4(AgreementAlgorithm):
 
     def make_processor(self, pid: ProcessorId) -> Processor:
         return Algorithm4Processor(self.grid, self.values[pid])
-
-    def upper_bound_messages(self) -> int:
-        """``3(m−1)m²``: each processor sends ``m − 1`` messages per phase."""
-        return 3 * (self.m - 1) * self.m * self.m
 
 
 def nonisolated_set(grid: Grid, faulty: frozenset[ProcessorId]) -> set[ProcessorId]:

@@ -172,12 +172,12 @@ def count_pi(
     """``π(M, q, index)``: distinct active signers whose gathered string has
     the given index and lists ``q``."""
     count = 0
-    for values in strings.values():
-        for value in values:
-            parsed = parse_flist(value)
-            if parsed is not None and parsed[0] == index and q in parsed[1]:
-                count += 1
-                break
+    for _signer, values in sorted(strings.items()):
+        if any(
+            parsed is not None and parsed[0] == index and q in parsed[1]
+            for parsed in map(parse_flist, values)
+        ):
+            count += 1
     return count
 
 
@@ -337,8 +337,8 @@ class Algorithm5Active(Processor):
         """
         assert self._exchange is not None
         chains: list[SignatureChain] = []
-        for per_signer in self._exchange.chains.values():
-            for value, chain in per_signer.items():
+        for _signer, per_signer in sorted(self._exchange.chains.items()):
+            for value, chain in sorted(per_signer.items()):
                 parsed = parse_flist(value)
                 if parsed is not None and parsed[0] == index:
                     chains.append(chain)
@@ -628,6 +628,13 @@ class Algorithm5(AgreementAlgorithm):
     name = "algorithm-5"
     authenticated = True
     value_domain = frozenset({0, 1})
+    #: the exact schedule never exceeds the library's closed-form phase
+    #: count at tree size ``s`` (fewer levels only shorten it).
+    phase_bound = "our_algorithm5_phase_bound(t, s)"
+    #: the concrete instantiation of Lemma 5 depends on the schedule and
+    #: forest shape — computed by ``upper_bound_messages``.
+    message_bound = "derived"
+    signature_bound = "unstated"
 
     def __init__(self, n: int, t: int, *, s: int | None = None) -> None:
         super().__init__(n, t)

@@ -87,6 +87,9 @@ class UnderSigningBroadcast(AgreementAlgorithm):
 
     name = "strawman-undersigning"
     authenticated = True
+    phase_bound = "1"
+    message_bound = "n - 1"
+    signature_bound = "n - 1"
 
     def __init__(self, n: int, t: int, *, default: Value = DEFAULT_VALUE) -> None:
         super().__init__(n, t)
@@ -99,12 +102,6 @@ class UnderSigningBroadcast(AgreementAlgorithm):
         if pid == self.transmitter:
             return _BroadcastingTransmitter()
         return _TrustingReceiver(self.default)
-
-    def upper_bound_messages(self) -> int:
-        return self.n - 1
-
-    def upper_bound_signatures(self) -> int:
-        return self.n - 1
 
 
 class EchoBroadcast(AgreementAlgorithm):
@@ -124,6 +121,9 @@ class EchoBroadcast(AgreementAlgorithm):
 
     name = "strawman-echo"
     authenticated = True
+    phase_bound = "2"
+    message_bound = "(n - 1) * (n - 1)"
+    signature_bound = "unstated"
 
     def __init__(self, n: int, t: int, *, default: Value = DEFAULT_VALUE) -> None:
         super().__init__(n, t)
@@ -136,9 +136,6 @@ class EchoBroadcast(AgreementAlgorithm):
         if pid == self.transmitter:
             return _BroadcastingTransmitter()
         return _EchoReceiver(self.default)
-
-    def upper_bound_messages(self) -> int:
-        return (self.n - 1) * (self.n - 1)
 
 
 class _EchoReceiver(Processor):

@@ -114,6 +114,12 @@ class DolevStrong(AgreementAlgorithm):
 
     name = "dolev-strong"
     authenticated = True
+    phase_bound = "t + 1"
+    #: transmitter: ``n − 1``; each other correct processor sends at most 2
+    #: relays to at most ``n − 2`` non-signers each.
+    message_bound = "(n - 1) + (n - 1) * 2 * (n - 2)"
+    #: every relayed chain at phase ``k`` carries ``k ≤ t + 1`` signatures.
+    signature_bound = "((n - 1) + (n - 1) * 2 * (n - 2)) * (t + 1)"
 
     def __init__(self, n: int, t: int, *, default: Value = DEFAULT_VALUE) -> None:
         super().__init__(n, t)
@@ -128,12 +134,3 @@ class DolevStrong(AgreementAlgorithm):
 
     def make_processor(self, pid: ProcessorId) -> Processor:
         return DolevStrongProcessor(t=self.t, default=self.default)
-
-    def upper_bound_messages(self) -> int:
-        # transmitter: n - 1; each other correct processor: at most 2 relays
-        # to at most n - 2 non-signers each.
-        return (self.n - 1) + (self.n - 1) * 2 * (self.n - 2)
-
-    def upper_bound_signatures(self) -> int:
-        # every relayed chain at phase k carries k <= t + 1 signatures.
-        return self.upper_bound_messages() * (self.t + 1)

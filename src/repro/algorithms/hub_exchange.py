@@ -116,6 +116,10 @@ class HubExchange(AgreementAlgorithm):
 
     name = "hub-exchange"
     authenticated = True
+    phase_bound = "2"
+    #: the paper's ``(N − 1)(t + 1) + (N − t − 1)(t + 1)``.
+    message_bound = "(n - 1) * (t + 1) + (n - t - 1) * (t + 1)"
+    signature_bound = "unstated"
 
     def __init__(self, n: int, t: int, values: Mapping[ProcessorId, Value]) -> None:
         super().__init__(n, t)
@@ -134,11 +138,6 @@ class HubExchange(AgreementAlgorithm):
 
     def make_processor(self, pid: ProcessorId) -> Processor:
         return HubProcessor(self.values[pid], self.relays)
-
-    def upper_bound_messages(self) -> int:
-        """The paper's ``(N − 1)(t + 1) + (N − t − 1)(t + 1)``."""
-        n, t = self.n, self.t
-        return (n - 1) * (t + 1) + (n - t - 1) * (t + 1)
 
 
 def check_full_exchange(

@@ -122,6 +122,10 @@ class InformedAlgorithm2(AgreementAlgorithm):
     name = "informed-algorithm-2"
     authenticated = True
     value_domain = frozenset({0, 1})
+    phase_bound = "3*t + 4"
+    #: Theorem 4's bound plus the informing fan-out.
+    message_bound = "theorem4_message_upper_bound(t) + (t + 1) * (n - 2*t - 1)"
+    signature_bound = "unstated"
 
     def __init__(self, n: int, t: int) -> None:
         super().__init__(n, t)
@@ -140,8 +144,3 @@ class InformedAlgorithm2(AgreementAlgorithm):
             inner = self._core_algorithm.make_processor(pid)
             return InformedCoreProcessor(inner, tuple(range(self.core, self.n)))
         return InformedPassiveProcessor(self.core)
-
-    def upper_bound_messages(self) -> int:
-        """Theorem 4's bound plus the informing fan-out."""
-        t = self.t
-        return 5 * t * t + 5 * t + (t + 1) * (self.n - 2 * t - 1)

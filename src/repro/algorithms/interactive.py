@@ -179,6 +179,11 @@ class InteractiveConsistency(AgreementAlgorithm):
 
     name = "interactive-consistency"
     authenticated = True
+    #: all budgets scale with the wrapped BA algorithm — computed from the
+    #: inner instances at runtime.
+    phase_bound = "derived"
+    message_bound = "derived"
+    signature_bound = "derived"
 
     def __init__(
         self,
@@ -197,7 +202,7 @@ class InteractiveConsistency(AgreementAlgorithm):
         self._inner = [inner_factory(n, t) for _ in range(n)]
         #: per-instance signature registries, shared by every processor of
         #: this algorithm instance (construct a fresh algorithm per run).
-        self._services = [SignatureService() for _ in range(n)]
+        self._services = SignatureService.fresh_registries(n)
         self.name = f"interactive-{self._inner[0].name}"
         self.authenticated = self._inner[0].authenticated
         if len({inner.num_phases() for inner in self._inner}) != 1:
@@ -226,7 +231,7 @@ def check_interactive_consistency(result, algorithm: InteractiveConsistency) -> 
     if len(distinct) > 1:
         violations.append(f"correct processors hold {len(distinct)} different vectors")
     for source in sorted(result.correct):
-        for pid, vector in vectors.items():
+        for pid, vector in sorted(vectors.items()):
             if vector[source] != algorithm.values[source]:
                 violations.append(
                     f"{pid} holds {vector[source]!r} for correct source "

@@ -135,6 +135,11 @@ class MultivaluedAgreement(AgreementAlgorithm):
 
     name = "multivalued"
     authenticated = True
+    #: all budgets scale with the wrapped binary algorithm — computed from
+    #: the inner instances at runtime.
+    phase_bound = "derived"
+    message_bound = "derived"
+    signature_bound = "derived"
 
     def __init__(
         self,

@@ -98,7 +98,7 @@ class OralMessagesProcessor(Processor):
         if phase > self.ctx.t + 1:
             return []
         outgoing: list[Outgoing] = []
-        for path, value in list(self.tree.items()):
+        for path, value in sorted(self.tree.items()):
             if len(path) != phase - 1 or self.ctx.pid in path:
                 continue
             extended = Relay(path=path + (self.ctx.pid,), value=value)
@@ -161,6 +161,10 @@ class OralMessages(AgreementAlgorithm):
 
     name = "oral-messages"
     authenticated = False
+    phase_bound = "t + 1"
+    #: the exact worst-case relay count involves ordered path counting —
+    #: computed by ``upper_bound_messages``.
+    message_bound = "derived"
 
     def __init__(self, n: int, t: int, *, default: Value = DEFAULT_VALUE) -> None:
         super().__init__(n, t)

@@ -163,6 +163,10 @@ class PhaseKing(AgreementAlgorithm):
 
     name = "phase-king"
     authenticated = False
+    phase_bound = "2*t + 3"
+    #: transmitter broadcast + per iteration one all-to-all round and one
+    #: king broadcast.
+    message_bound = "(n - 1) + (t + 1) * (n * (n - 1) + (n - 1))"
 
     def __init__(self, n: int, t: int, *, default: Value = DEFAULT_VALUE) -> None:
         super().__init__(n, t)
@@ -177,9 +181,3 @@ class PhaseKing(AgreementAlgorithm):
 
     def make_processor(self, pid: ProcessorId) -> Processor:
         return PhaseKingProcessor(default=self.default)
-
-    def upper_bound_messages(self) -> int:
-        """Transmitter broadcast + per iteration one all-to-all round and
-        one king broadcast."""
-        n, t = self.n, self.t
-        return (n - 1) + (t + 1) * (n * (n - 1) + (n - 1))

@@ -21,7 +21,7 @@ from repro.core.history import History, edge_payloads
 from repro.core.metrics import count_signatures
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinearFit:
     """Least-squares line ``y ≈ slope · x + intercept``."""
 
@@ -49,7 +49,7 @@ def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
     return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerFit:
     """Power law ``y ≈ coefficient · x^exponent`` (log–log least squares)."""
 

@@ -15,7 +15,7 @@ from typing import Sequence
 from repro.analysis.tables import format_markdown_table
 
 
-@dataclass
+@dataclass(slots=True)
 class ExperimentRecord:
     """One paper-claim-vs-measurement row."""
 
@@ -35,7 +35,7 @@ class ExperimentRecord:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class ExperimentReport:
     """A collection of records with rendering helpers."""
 

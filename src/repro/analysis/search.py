@@ -38,7 +38,7 @@ from repro.core.validation import check_byzantine_agreement
 AlgorithmFactory = Callable[[], AgreementAlgorithm]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProbeResult:
     """Outcome of one probed scenario."""
 

@@ -18,7 +18,7 @@ from repro.core.types import Value
 from repro.core.validation import check_byzantine_agreement
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SweepPoint:
     """One measured execution."""
 

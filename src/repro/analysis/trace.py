@@ -19,7 +19,7 @@ from repro.core.runner import RunResult
 from repro.core.types import INPUT_SOURCE, ProcessorId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceLine:
     """One rendered message."""
 

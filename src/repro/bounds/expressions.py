@@ -1,0 +1,169 @@
+"""Declared-bound expressions: a tiny, safe arithmetic language.
+
+Every concrete :class:`~repro.core.protocol.AgreementAlgorithm` declares its
+paper budgets (``phase_bound``, ``message_bound`` and — when authenticated —
+``signature_bound``) as *expression strings* over its system parameters,
+evaluated in the namespace of :mod:`repro.bounds.formulas`.  Keeping the
+declarations textual makes them statically checkable: the ``repro lint``
+rule BA002 parses them without importing the algorithm module and
+cross-checks them against the paper's closed forms.
+
+The language is deliberately small: integer arithmetic, the parameter names
+the algorithm instance actually has (``n``, ``t``, ``s``, ``m``, ``alpha``,
+``width``), and calls to the public functions of
+:mod:`repro.bounds.formulas`.  Anything else is rejected at parse time.
+
+Two sentinels opt out of evaluation while keeping the declaration explicit:
+
+* :data:`DERIVED` — the bound is computed at runtime from component
+  algorithms (wrappers like interactive consistency override the
+  ``upper_bound_*`` method);
+* :data:`UNSTATED` — the paper states no closed form for this budget.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from fractions import Fraction
+from typing import Callable, Final, Mapping
+
+from repro.bounds import formulas
+
+__all__ = [
+    "DERIVED",
+    "UNSTATED",
+    "SENTINELS",
+    "PARAMETER_NAMES",
+    "BoundExpressionError",
+    "formula_namespace",
+    "validate_bound_expression",
+    "evaluate_bound",
+]
+
+#: Declares that the bound is derived at runtime from component algorithms.
+DERIVED: Final[str] = "derived"
+#: Declares that the paper states no closed form for this budget.
+UNSTATED: Final[str] = "unstated"
+#: The declarations that are explicit opt-outs rather than expressions.
+SENTINELS: Final[frozenset[str]] = frozenset({DERIVED, UNSTATED})
+
+#: Parameter names a bound expression may reference.  Each algorithm
+#: instance supplies the subset it actually has (see
+#: :meth:`~repro.core.protocol.AgreementAlgorithm.bound_parameters`).
+PARAMETER_NAMES: Final[frozenset[str]] = frozenset(
+    {"n", "t", "s", "m", "alpha", "width"}
+)
+
+_ALLOWED_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.Div,
+    ast.FloorDiv,
+    ast.Mod,
+    ast.Pow,
+)
+
+
+class BoundExpressionError(ValueError):
+    """A declared bound is not a valid expression of the bound language."""
+
+
+def formula_namespace() -> dict[str, Callable[..., object]]:
+    """The public functions of :mod:`repro.bounds.formulas`, by name."""
+    return {
+        name: func
+        for name, func in vars(formulas).items()
+        if callable(func) and not name.startswith("_")
+    }
+
+
+def validate_bound_expression(expression: str) -> ast.Expression:
+    """Parse *expression* and verify it stays inside the bound language.
+
+    Returns the parsed tree; raises :class:`BoundExpressionError` when the
+    expression uses anything beyond integer arithmetic, the allowed
+    parameter names, and calls to :mod:`repro.bounds.formulas` functions.
+    """
+    try:
+        tree = ast.parse(expression, mode="eval")
+    except SyntaxError as error:
+        raise BoundExpressionError(
+            f"bound expression {expression!r} does not parse: {error.msg}"
+        ) from error
+    known_formulas = formula_namespace()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Expression, ast.Load)):
+            continue
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _ALLOWED_OPS):
+            continue
+        if isinstance(node, ast.UnaryOp) and isinstance(
+            node.op, (ast.USub, ast.UAdd)
+        ):
+            continue
+        if isinstance(node, _ALLOWED_OPS + (ast.USub, ast.UAdd)):
+            continue
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            continue
+        if isinstance(node, ast.Call):
+            if not isinstance(node.func, ast.Name) or node.keywords:
+                raise BoundExpressionError(
+                    f"bound expression {expression!r} may only call "
+                    f"formulas by bare name with positional arguments"
+                )
+            if node.func.id not in known_formulas:
+                raise BoundExpressionError(
+                    f"bound expression {expression!r} calls "
+                    f"{node.func.id!r}, which is not defined in "
+                    f"repro.bounds.formulas"
+                )
+            continue
+        if isinstance(node, ast.Name):
+            if node.id in PARAMETER_NAMES or node.id in known_formulas:
+                continue
+            raise BoundExpressionError(
+                f"bound expression {expression!r} references {node.id!r}; "
+                f"allowed names are parameters {sorted(PARAMETER_NAMES)} "
+                f"and repro.bounds.formulas functions"
+            )
+        raise BoundExpressionError(
+            f"bound expression {expression!r} uses disallowed syntax "
+            f"({type(node).__name__})"
+        )
+    return tree
+
+
+def evaluate_bound(
+    declaration: str | None, parameters: Mapping[str, int]
+) -> int | None:
+    """Evaluate a declared bound at the given parameter values.
+
+    Returns ``None`` for an absent declaration or a sentinel
+    (:data:`DERIVED` / :data:`UNSTATED`).  Non-integer results (e.g. a
+    :class:`~fractions.Fraction` from a lower-bound formula) are rounded up
+    — a bound rounded toward safety stays a bound.
+    """
+    if declaration is None or declaration in SENTINELS:
+        return None
+    tree = validate_bound_expression(declaration)
+    namespace: dict[str, object] = dict(formula_namespace())
+    for name, value in parameters.items():
+        if name in PARAMETER_NAMES:
+            namespace[name] = value
+    code = compile(tree, "<declared-bound>", "eval")
+    try:
+        result = eval(code, {"__builtins__": {}}, namespace)  # noqa: S307
+    except NameError as error:
+        raise BoundExpressionError(
+            f"bound expression {declaration!r} needs a parameter this "
+            f"algorithm does not define: {error}"
+        ) from error
+    if isinstance(result, bool) or not isinstance(
+        result, (int, float, Fraction)
+    ):
+        raise BoundExpressionError(
+            f"bound expression {declaration!r} evaluated to "
+            f"{type(result).__name__}, expected a number"
+        )
+    return math.ceil(result)

@@ -213,6 +213,26 @@ def cmd_conformance(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.lint import lint_paths, render_json, render_text
+
+    paths = args.paths or [str(Path(repro.__file__).parent)]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        # A typo'd path must not look like a clean bill of health.
+        print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = lint_paths(paths)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
 def cmd_experiments(_: argparse.Namespace) -> int:
     from repro.analysis.experiments import run_all_experiments
 
@@ -285,6 +305,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast pass over every paper experiment (E1–E12), verdict table",
     )
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static verification of the protocol invariants (BA001-BA005)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     return parser
 

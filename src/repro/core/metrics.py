@@ -30,7 +30,7 @@ def count_signatures(payload: object) -> int:
     )
 
 
-@dataclass
+@dataclass(slots=True)
 class MetricsLedger:
     """Running totals for one execution.
 
@@ -50,14 +50,14 @@ class MetricsLedger:
     #: configured number of phases the algorithm declared.
     phases_configured: int = 0
 
-    sent_per_processor: Counter = field(default_factory=Counter)
-    received_per_processor: Counter = field(default_factory=Counter)
-    messages_per_phase: Counter = field(default_factory=Counter)
-    signatures_per_phase: Counter = field(default_factory=Counter)
+    sent_per_processor: Counter[ProcessorId] = field(default_factory=Counter)
+    received_per_processor: Counter[ProcessorId] = field(default_factory=Counter)
+    messages_per_phase: Counter[int] = field(default_factory=Counter)
+    signatures_per_phase: Counter[int] = field(default_factory=Counter)
     #: messages sent by correct processors *to* each receiver — Theorem 2
     #: reasons about how many messages each member of the faulty set B
     #: receives from correct processors.
-    correct_messages_received_by: Counter = field(default_factory=Counter)
+    correct_messages_received_by: Counter[ProcessorId] = field(default_factory=Counter)
 
     def record_send(self, envelope: Envelope, sender_correct: bool) -> None:
         """Account for one sent message."""

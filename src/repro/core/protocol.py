@@ -116,6 +116,15 @@ class AgreementAlgorithm(abc.ABC):
     ``n``, ``t`` and any tuning parameters (like Algorithm 3's chain-set
     size ``s``) — and acts as a factory for per-processor
     :class:`Processor` instances.
+
+    Every concrete subclass must declare its information-exchange budget as
+    class attributes — ``phase_bound``, ``message_bound`` and (when
+    authenticated) ``signature_bound`` — written in the expression language
+    of :mod:`repro.bounds.expressions` over its system parameters.  The
+    paper's bounds are only meaningful for algorithms that state their
+    budgets up front; ``repro lint`` rule BA002 verifies the declarations
+    statically and cross-checks them against the closed forms in
+    :mod:`repro.bounds.formulas`.
     """
 
     #: Short identifier used in tables and reports.
@@ -126,7 +135,16 @@ class AgreementAlgorithm(abc.ABC):
     #: The paper's Algorithms 1–5 are binary — value 1 is structurally
     #: special (only 1-messages are relayed) — so they declare ``{0, 1}``
     #: and the runner rejects other inputs instead of silently deciding 0.
-    value_domain: ClassVar[frozenset | None] = None
+    value_domain: ClassVar[frozenset[Any] | None] = None
+
+    #: Declared worst-case number of phases, as a bound expression.
+    phase_bound: ClassVar[str | None] = None
+    #: Declared worst-case messages sent by correct processors.
+    message_bound: ClassVar[str | None] = None
+    #: Declared worst-case signatures sent by correct processors (required
+    #: for authenticated algorithms; ``"unstated"`` when the paper gives no
+    #: closed form).
+    signature_bound: ClassVar[str | None] = None
 
     def __init__(self, n: int, t: int, *, transmitter: ProcessorId = TRANSMITTER) -> None:
         check_population(n, t)
@@ -149,15 +167,41 @@ class AgreementAlgorithm(abc.ABC):
 
     # ------------------------------------------------------- paper's bounds
 
+    def bound_parameters(self) -> dict[str, int]:
+        """The parameter values the declared bound expressions close over.
+
+        Always ``n`` and ``t``; tuning parameters (``s``, ``m``, ``alpha``,
+        ``width``) are included when the instance defines them as ints.
+        """
+        parameters = {"n": self.n, "t": self.t}
+        for extra in ("s", "m", "alpha", "width"):
+            value = getattr(self, extra, None)
+            if isinstance(value, int) and not isinstance(value, bool):
+                parameters[extra] = value
+        return parameters
+
+    def declared_bound(self, declaration: str | None) -> int | None:
+        """Evaluate one declared bound expression at this configuration."""
+        # Imported lazily: repro.bounds pulls in the executable proofs,
+        # which themselves run algorithms through repro.core.
+        from repro.bounds.expressions import evaluate_bound
+
+        return evaluate_bound(declaration, self.bound_parameters())
+
+    def upper_bound_phases(self) -> int | None:
+        """The declared worst-case phase count (``num_phases`` never
+        exceeds it), or ``None`` if no closed form is declared."""
+        return self.declared_bound(self.phase_bound)
+
     def upper_bound_messages(self) -> int | None:
         """The paper's worst-case bound on messages sent by correct
         processors, or ``None`` if the paper states no closed form."""
-        return None
+        return self.declared_bound(self.message_bound)
 
     def upper_bound_signatures(self) -> int | None:
         """The paper's worst-case bound on signatures sent by correct
         processors, or ``None`` if the paper states no closed form."""
-        return None
+        return self.declared_bound(self.signature_bound)
 
     def describe(self) -> dict[str, object]:
         """Metadata row for comparison tables."""

@@ -157,6 +157,19 @@ class SignatureService:
         """Number of legitimate signing operations performed so far."""
         return self._sign_operations
 
+    @classmethod
+    def fresh_registries(cls, count: int) -> tuple["SignatureService", ...]:
+        """Mint *count* independent signature registries.
+
+        Composite protocols that embed sub-protocol instances (e.g.
+        interactive consistency's rotated BA copies) need one registry per
+        instance.  They must obtain them here rather than constructing
+        :class:`SignatureService` themselves — keeping registry creation
+        inside the crypto layer is what lets ``repro lint`` rule BA003
+        verify that algorithm code never mints signing authority.
+        """
+        return tuple(cls() for _ in range(count))
+
     def clone(self) -> "SignatureService":
         """An independent copy of the registry with fresh keys.
 

@@ -1,0 +1,52 @@
+"""Protocol linter: AST-based static verification of the paper's discipline.
+
+The bounds of Dolev & Reischuk only hold for algorithms that are
+*deterministic* correctness rules with *declared* message/signature/phase
+budgets.  The runtime conformance checker (:mod:`repro.core.conformance`)
+can only catch a violation a simulation happens to exercise; this package
+checks the discipline statically, before anything runs.
+
+Rule catalogue (each encodes a paper invariant — see README "Static
+analysis"):
+
+* **BA001** — no nondeterminism in protocol code (``random``, wall-clock
+  time, ``os.urandom``, unordered ``set`` iteration).
+* **BA002** — every ``AgreementAlgorithm`` subclass declares
+  ``message_bound``/``phase_bound`` (and ``signature_bound`` when
+  authenticated), cross-checked against :mod:`repro.bounds.formulas`.
+* **BA003** — all signing authority flows through the runner:
+  no ``SignatureService``/``SigningKey`` construction in algorithm modules.
+* **BA004** — received :class:`~repro.core.message.Envelope` objects are
+  never mutated (tamper-proof histories).
+* **BA005** — no bare dict-order fan-out in protocol hot paths without a
+  sorted key.
+
+Run it as ``repro lint [paths] [--format=text|json]``.
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintEngine,
+    LintReport,
+    ProjectIndex,
+    Rule,
+    SourceFile,
+    all_rules,
+    lint_paths,
+    register,
+)
+from repro.lint.report import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "ProjectIndex",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "lint_paths",
+    "register",
+    "render_json",
+    "render_text",
+]

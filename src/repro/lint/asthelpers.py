@@ -1,0 +1,143 @@
+"""Shared AST analysis helpers for the repro lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import SourceFile
+
+#: Builtins whose result does not depend on the order their iterable
+#: argument is consumed in (or that impose an order themselves).
+ORDER_INSENSITIVE_CALLS = frozenset(
+    {"sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset"}
+)
+
+_SET_TYPE_NAMES = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
+
+
+def call_name(node: ast.expr) -> str | None:
+    """The bare callable name of a ``Call`` node (``f(...)`` or ``x.f(...)``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def is_set_producing(node: ast.expr) -> bool:
+    """Whether *node* syntactically evaluates to a ``set``/``frozenset``."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def annotation_is_set(node: ast.expr | None) -> bool:
+    """Whether a type annotation names ``set``/``frozenset`` (bare or
+    subscripted)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _SET_TYPE_NAMES
+    if isinstance(node, ast.Subscript):
+        return annotation_is_set(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_TYPE_NAMES
+    return False
+
+
+def set_valued_self_attributes(class_node: ast.ClassDef) -> set[str]:
+    """Attribute names the class assigns set-producing values to
+    (``self.x = set(...)`` or ``self.x: set[...] = ...``)."""
+    names: set[str] = set()
+    for node in ast.walk(class_node):
+        if isinstance(node, ast.Assign):
+            targets, value, annotation = node.targets, node.value, None
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value, annotation = node.value, node.annotation
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                if (value is not None and is_set_producing(value)) or (
+                    annotation_is_set(annotation)
+                ):
+                    names.add(target.attr)
+    return names
+
+
+def set_valued_locals(function_node: ast.AST) -> set[str]:
+    """Local variable names assigned set-producing values in a function."""
+    names: set[str] = set()
+    for node in ast.walk(function_node):
+        if isinstance(node, ast.Assign) and is_set_producing(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if (node.value is not None and is_set_producing(node.value)) or (
+                annotation_is_set(node.annotation)
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def comprehension_is_order_insensitive(
+    file: SourceFile, owner: ast.expr
+) -> bool:
+    """Whether a comprehension's iteration order cannot leak into program
+    behaviour: it builds an unordered container, or it feeds directly into
+    an order-insensitive call like ``sorted``/``sum``/``any``.
+    """
+    if isinstance(owner, ast.SetComp):
+        return True
+    parent = file.parents.get(owner)
+    if isinstance(parent, ast.Call):
+        name = call_name(parent)
+        if name in ORDER_INSENSITIVE_CALLS and owner in parent.args:
+            return True
+    return False
+
+
+def iteration_sites(file: SourceFile) -> Iterator[tuple[ast.expr, ast.expr | None]]:
+    """Every ``(iterated expression, comprehension owner)`` pair in the file.
+
+    For plain ``for`` statements the owner is ``None``; for comprehensions
+    it is the ``ListComp``/``SetComp``/``DictComp``/``GeneratorExp`` node,
+    so callers can apply :func:`comprehension_is_order_insensitive`.
+    """
+    for node in ast.walk(file.tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, None
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield generator.iter, node
+
+
+def enclosing_class(file: SourceFile, node: ast.AST) -> ast.ClassDef | None:
+    """The innermost class definition lexically containing *node*."""
+    current = file.parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        current = file.parents.get(current)
+    return None
+
+
+def enclosing_function(file: SourceFile, node: ast.AST) -> ast.AST | None:
+    """The innermost function definition lexically containing *node*."""
+    current = file.parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return current
+        current = file.parents.get(current)
+    return None

@@ -1,0 +1,340 @@
+"""Lint engine: file collection, parsing, rule dispatch, suppression.
+
+The engine is deliberately independent of the rules it runs: rules register
+themselves via :func:`register` (the modules in :mod:`repro.lint.rules` do
+so on import) and receive parsed :class:`SourceFile` objects plus a
+cross-file :class:`ProjectIndex`.  Findings carry a rule id and a
+``file:line:column`` location; ``# noqa`` / ``# noqa: BA001`` trailing
+comments suppress them line by line.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator, Sequence
+
+#: Rule id used for files that do not parse at all.
+PARSE_RULE_ID = "BA000"
+
+_NOQA_PATTERN = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*))?",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """A parsed source file plus the context rules need to scope checks."""
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    #: line -> suppressed rule ids (``None`` means every rule).
+    suppressions: dict[int, frozenset[str] | None]
+    #: child AST node -> parent, for enclosing-context checks.
+    parents: dict[ast.AST, ast.AST]
+
+    @property
+    def in_algorithms(self) -> bool:
+        return "algorithms" in self.path.parts
+
+    @property
+    def in_crypto(self) -> bool:
+        return "crypto" in self.path.parts
+
+    @property
+    def is_core_protocol(self) -> bool:
+        return self.path.name == "protocol.py" and self.path.parent.name == "core"
+
+    @property
+    def protocol_code(self) -> bool:
+        """True for the files the determinism discipline applies to:
+        ``algorithms/``, ``core/protocol.py`` and ``crypto/``."""
+        return self.in_algorithms or self.in_crypto or self.is_core_protocol
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        return Finding(
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message,
+        )
+
+    def suppressed(self, finding: Finding) -> bool:
+        if finding.line not in self.suppressions:
+            return False
+        codes = self.suppressions[finding.line]
+        return codes is None or finding.rule in codes
+
+
+@dataclass(frozen=True, slots=True)
+class ClassRecord:
+    """A class definition as seen by the cross-file index."""
+
+    name: str
+    display: str
+    lineno: int
+    column: int
+    bases: tuple[str, ...]
+    #: simple ``name = value`` / annotated assignments in the class body.
+    attributes: dict[str, ast.expr]
+
+
+@dataclass(slots=True)
+class ProjectIndex:
+    """Cross-file facts: every class definition, and which of them are
+    (transitively) ``AgreementAlgorithm`` subclasses."""
+
+    classes: dict[str, ClassRecord] = field(default_factory=dict)
+    algorithm_classes: dict[str, ClassRecord] = field(default_factory=dict)
+
+    def resolve_class_attribute(
+        self, record: ClassRecord, attribute: str
+    ) -> ast.expr | None:
+        """Look *attribute* up along the statically-known base chain."""
+        seen: set[str] = set()
+        queue = [record]
+        while queue:
+            current = queue.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            if attribute in current.attributes:
+                return current.attributes[attribute]
+            for base in current.bases:
+                if base in self.classes:
+                    queue.append(self.classes[base])
+        return None
+
+
+class Rule(abc.ABC):
+    """One lint rule.  Subclasses set ``rule_id``/``summary`` and implement
+    :meth:`check`; registration happens via the :func:`register` decorator."""
+
+    rule_id: ClassVar[str]
+    summary: ClassVar[str]
+
+    def applies(self, file: SourceFile) -> bool:
+        """Whether this rule runs on *file* at all (default: every file)."""
+        return True
+
+    @abc.abstractmethod
+    def check(self, file: SourceFile, project: ProjectIndex) -> Iterator[Finding]:
+        """Yield findings for *file*."""
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    _REGISTRY[rule_class.rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> dict[str, type[Rule]]:
+    """The registered rules, importing the built-in set on first use."""
+    import repro.lint.rules  # noqa: F401  (registers on import)
+
+    return dict(_REGISTRY)
+
+
+@dataclass(slots=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    files_checked: int
+    rules_run: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _collect_files(paths: Sequence[Path | str]) -> list[tuple[Path, str]]:
+    """Expand *paths* into a sorted, de-duplicated list of python files."""
+    collected: dict[Path, str] = {}
+    for raw in paths:
+        given = Path(raw)
+        if given.is_dir():
+            for found in sorted(given.rglob("*.py")):
+                collected.setdefault(found.resolve(), str(found))
+        elif given.suffix == ".py":
+            collected.setdefault(given.resolve(), str(given))
+    return sorted(collected.items(), key=lambda item: item[1])
+
+
+def _scan_suppressions(source: str) -> dict[int, frozenset[str] | None]:
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_PATTERN.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",")
+            )
+    return suppressions
+
+
+def _build_parents(tree: ast.Module) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def _base_names(node: ast.ClassDef) -> tuple[str, ...]:
+    names: list[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return tuple(names)
+
+
+def _class_attributes(node: ast.ClassDef) -> dict[str, ast.expr]:
+    attributes: dict[str, ast.expr] = {}
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    attributes[target.id] = statement.value
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name) and statement.value is not None:
+                attributes[statement.target.id] = statement.value
+    return attributes
+
+
+def _build_index(files: Iterable[SourceFile]) -> ProjectIndex:
+    index = ProjectIndex()
+    bases_of: dict[str, tuple[str, ...]] = {}
+    for file in files:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            record = ClassRecord(
+                name=node.name,
+                display=file.display,
+                lineno=node.lineno,
+                column=node.col_offset + 1,
+                bases=_base_names(node),
+                attributes=_class_attributes(node),
+            )
+            index.classes[node.name] = record
+            bases_of[node.name] = record.bases
+    # Fixpoint: a class is an algorithm class when any statically-visible
+    # base is AgreementAlgorithm or another algorithm class.
+    algorithmic: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in bases_of.items():
+            if name in algorithmic:
+                continue
+            if any(base == "AgreementAlgorithm" or base in algorithmic for base in bases):
+                algorithmic.add(name)
+                changed = True
+    index.algorithm_classes = {
+        name: index.classes[name] for name in sorted(algorithmic)
+    }
+    return index
+
+
+class LintEngine:
+    """Collect files, parse them, run every applicable rule."""
+
+    def __init__(self, rules: Sequence[type[Rule]] | None = None) -> None:
+        if rules is None:
+            rules = list(all_rules().values())
+        self.rules = [rule_class() for rule_class in rules]
+
+    def run(self, paths: Sequence[Path | str]) -> LintReport:
+        findings: list[Finding] = []
+        sources: list[SourceFile] = []
+        for path, display in _collect_files(paths):
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (SyntaxError, UnicodeDecodeError, OSError) as error:
+                line = getattr(error, "lineno", 1) or 1
+                findings.append(
+                    Finding(
+                        path=display,
+                        line=line,
+                        column=1,
+                        rule=PARSE_RULE_ID,
+                        message=f"file does not parse: {error}",
+                    )
+                )
+                continue
+            sources.append(
+                SourceFile(
+                    path=path,
+                    display=display,
+                    source=source,
+                    tree=tree,
+                    suppressions=_scan_suppressions(source),
+                    parents=_build_parents(tree),
+                )
+            )
+        project = _build_index(sources)
+        for file in sources:
+            for rule in self.rules:
+                if not rule.applies(file):
+                    continue
+                for finding in rule.check(file, project):
+                    if not file.suppressed(finding):
+                        findings.append(finding)
+        return LintReport(
+            findings=sorted(findings),
+            files_checked=len(sources),
+            rules_run=sorted(rule.rule_id for rule in self.rules),
+        )
+
+
+def lint_paths(
+    paths: Sequence[Path | str], rules: Sequence[type[Rule]] | None = None
+) -> LintReport:
+    """Convenience wrapper: lint *paths* with the given (or all) rules."""
+    return LintEngine(rules).run(paths)

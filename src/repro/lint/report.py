@@ -1,0 +1,34 @@
+"""Rendering lint reports as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one ``file:line:col rule message`` per line."""
+    lines = [
+        f"{finding.location} {finding.rule} {finding.message}"
+        for finding in report.findings
+    ]
+    noun = "file" if report.files_checked == 1 else "files"
+    if report.ok:
+        lines.append(f"{report.files_checked} {noun} checked, no findings")
+    else:
+        count = len(report.findings)
+        problems = "finding" if count == 1 else "findings"
+        lines.append(f"{report.files_checked} {noun} checked, {count} {problems}")
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report for tooling and CI."""
+    payload = {
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "rules_run": report.rules_run,
+        "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

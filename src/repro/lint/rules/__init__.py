@@ -1,0 +1,15 @@
+"""The built-in repro lint rules.  Importing this package registers them."""
+
+from repro.lint.rules.ba001_determinism import DeterminismRule
+from repro.lint.rules.ba002_bounds import BoundDeclarationRule
+from repro.lint.rules.ba003_signing import SigningDisciplineRule
+from repro.lint.rules.ba004_envelope import EnvelopeImmutabilityRule
+from repro.lint.rules.ba005_fanout import DictFanoutRule
+
+__all__ = [
+    "DeterminismRule",
+    "BoundDeclarationRule",
+    "SigningDisciplineRule",
+    "EnvelopeImmutabilityRule",
+    "DictFanoutRule",
+]

@@ -1,0 +1,142 @@
+"""BA001: no nondeterminism in protocol code.
+
+Paper invariant: a correctness rule ``R_p`` is a *function* of the
+individual subhistory — two runs from the same history must send the same
+messages, otherwise the conformance replay (and every bound stated over
+histories) is meaningless.  Protocol code (``algorithms/``,
+``core/protocol.py``, ``crypto/``) must therefore not consult entropy or
+wall-clock sources, and must not let unordered ``set`` iteration decide
+what gets sent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import (
+    comprehension_is_order_insensitive,
+    enclosing_class,
+    enclosing_function,
+    iteration_sites,
+    set_valued_locals,
+    set_valued_self_attributes,
+)
+from repro.lint.engine import Finding, ProjectIndex, Rule, SourceFile, register
+
+#: Modules whose very import marks nondeterminism or wall-clock dependence.
+BANNED_MODULES = frozenset({"random", "secrets", "uuid", "time", "datetime"})
+
+#: Calls that inject entropy or process-local state.
+BANNED_CALLS = frozenset({"urandom", "getrandbits", "token_bytes", "token_hex"})
+
+
+@register
+class DeterminismRule(Rule):
+    rule_id = "BA001"
+    summary = "protocol code must be deterministic"
+
+    def applies(self, file: SourceFile) -> bool:
+        return file.protocol_code
+
+    def check(self, file: SourceFile, project: ProjectIndex) -> Iterator[Finding]:
+        yield from self._check_imports(file)
+        yield from self._check_calls(file)
+        yield from self._check_set_iteration(file)
+
+    # ------------------------------------------------------------- imports
+
+    def _check_imports(self, file: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in BANNED_MODULES:
+                        yield file.finding(
+                            node,
+                            self.rule_id,
+                            f"import of nondeterministic module {root!r} in "
+                            f"protocol code (correctness rules must be "
+                            f"functions of the subhistory)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in BANNED_MODULES:
+                    yield file.finding(
+                        node,
+                        self.rule_id,
+                        f"import from nondeterministic module {root!r} in "
+                        f"protocol code",
+                    )
+                elif root == "os" and any(
+                    alias.name == "urandom" for alias in node.names
+                ):
+                    yield file.finding(
+                        node, self.rule_id, "import of os.urandom in protocol code"
+                    )
+
+    # --------------------------------------------------------------- calls
+
+    def _check_calls(self, file: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                if node.func.attr in BANNED_CALLS:
+                    yield file.finding(
+                        node,
+                        self.rule_id,
+                        f"call to entropy source .{node.func.attr}() in "
+                        f"protocol code",
+                    )
+            elif isinstance(node.func, ast.Name):
+                if node.func.id in BANNED_CALLS:
+                    yield file.finding(
+                        node,
+                        self.rule_id,
+                        f"call to entropy source {node.func.id}() in protocol code",
+                    )
+                elif node.func.id == "hash":
+                    yield file.finding(
+                        node,
+                        self.rule_id,
+                        "builtin hash() is salted per process; use "
+                        "repro.core.message.payload_digest for stable digests",
+                    )
+
+    # ------------------------------------------------------- set iteration
+
+    def _check_set_iteration(self, file: SourceFile) -> Iterator[Finding]:
+        for iterated, owner in iteration_sites(file):
+            if not self._is_set_valued(file, iterated):
+                continue
+            if owner is not None and comprehension_is_order_insensitive(
+                file, owner
+            ):
+                continue
+            yield file.finding(
+                iterated,
+                self.rule_id,
+                "iteration over an unordered set in protocol code; wrap in "
+                "sorted(...) so emission order is canonical",
+            )
+
+    def _is_set_valued(self, file: SourceFile, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in {"set", "frozenset"}:
+                return True
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            class_node = enclosing_class(file, node)
+            if class_node is not None:
+                return node.attr in set_valued_self_attributes(class_node)
+        if isinstance(node, ast.Name):
+            function_node = enclosing_function(file, node)
+            if function_node is not None:
+                return node.id in set_valued_locals(function_node)
+        return False

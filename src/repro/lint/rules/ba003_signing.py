@@ -1,0 +1,63 @@
+"""BA003: all signing goes through the context's signature service.
+
+Paper invariant: the signature budget (Theorems 4–6) counts signatures a
+correct processor *generates*, and the model lets a processor sign only
+with its own key.  The runner enforces both by handing each processor a
+:class:`~repro.core.protocol.Context` whose ``sign`` method wraps the one
+registry-backed :class:`~repro.crypto.signatures.SignatureService` per
+run.  An algorithm module that constructs its own ``SignatureService`` or
+``SigningKey`` escapes that accounting (signatures it mints are invisible
+to the metrics ledger) and can forge other processors' keys.
+
+Construction is allowed only via the audited factory
+``SignatureService.fresh_registries`` (used by wrapper algorithms that run
+component instances), never by calling the class directly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ProjectIndex, Rule, SourceFile, register
+
+#: Crypto types algorithm modules must not construct directly.
+FORBIDDEN_CONSTRUCTORS = frozenset({"SignatureService", "SigningKey"})
+
+
+@register
+class SigningDisciplineRule(Rule):
+    rule_id = "BA003"
+    summary = "algorithm modules must sign via Context.sign only"
+
+    def applies(self, file: SourceFile) -> bool:
+        return file.in_algorithms
+
+    def check(self, file: SourceFile, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = self._constructed_type(node.func)
+            if name is None:
+                continue
+            yield file.finding(
+                node,
+                self.rule_id,
+                f"direct construction of {name} in an algorithm module; "
+                f"sign through Context.sign (or obtain services via "
+                f"SignatureService.fresh_registries) so the signature "
+                f"budget stays accountable",
+            )
+
+    def _constructed_type(self, func: ast.expr) -> str | None:
+        """The forbidden class name when *func* is a call to it.
+
+        ``SignatureService()`` and ``crypto.SignatureService()`` are both
+        flagged; ``SignatureService.fresh_registries()`` is not, because
+        the called attribute is the factory, not the constructor.
+        """
+        if isinstance(func, ast.Name) and func.id in FORBIDDEN_CONSTRUCTORS:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in FORBIDDEN_CONSTRUCTORS:
+            return func.attr
+        return None

@@ -1,0 +1,104 @@
+"""BA004: received envelopes are immutable history.
+
+Paper invariant: the information exchange of a run is the *history* — the
+set of messages actually sent.  Lower bounds (Theorems 1 and 2) are proved
+by surgery on histories, and the conformance checker replays them; both
+collapse if protocol code can rewrite a message after receipt.
+:class:`~repro.core.message.Envelope` is a frozen dataclass for exactly
+this reason, and this rule closes the loopholes Python leaves open:
+``object.__setattr__`` and ``setattr`` on an envelope field, or plain
+attribute assignment that would raise at runtime anyway.
+
+Assignments to ``self.<field>`` are never flagged — processors naturally
+keep attributes like ``self.phase`` for their own state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.engine import Finding, ProjectIndex, Rule, SourceFile, register
+
+#: The fields of repro.core.message.Envelope.
+ENVELOPE_FIELDS = frozenset({"src", "dst", "phase", "payload"})
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _envelope_field_target(target: ast.expr) -> str | None:
+    """The envelope field name when *target* is ``<obj>.<field>`` with
+    ``obj`` not ``self`` and ``field`` an Envelope field."""
+    if (
+        isinstance(target, ast.Attribute)
+        and target.attr in ENVELOPE_FIELDS
+        and not _is_self(target.value)
+    ):
+        return target.attr
+    return None
+
+
+@register
+class EnvelopeImmutabilityRule(Rule):
+    rule_id = "BA004"
+    summary = "never mutate a received Envelope"
+
+    def applies(self, file: SourceFile) -> bool:
+        return file.protocol_code
+
+    def check(self, file: SourceFile, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_target(file, node, target)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                yield from self._check_target(file, node, node.target)
+            elif isinstance(node, ast.Call):
+                yield from self._check_setattr(file, node)
+
+    def _check_target(
+        self, file: SourceFile, statement: ast.stmt, target: ast.expr
+    ) -> Iterator[Finding]:
+        field = _envelope_field_target(target)
+        if field is not None:
+            yield file.finding(
+                statement,
+                self.rule_id,
+                f"assignment to .{field} of a non-self object looks like "
+                f"envelope mutation; histories are immutable — build a new "
+                f"Envelope instead",
+            )
+
+    def _check_setattr(self, file: SourceFile, node: ast.Call) -> Iterator[Finding]:
+        # object.__setattr__(x, 'payload', v) — the frozen-dataclass bypass.
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__setattr__"
+            and len(node.args) >= 2
+            and not _is_self(node.args[0])
+        ):
+            field = node.args[1]
+            if isinstance(field, ast.Constant) and field.value in ENVELOPE_FIELDS:
+                yield file.finding(
+                    node,
+                    self.rule_id,
+                    f"object.__setattr__ on .{field.value} bypasses Envelope "
+                    f"immutability; histories are append-only",
+                )
+        # setattr(x, 'payload', v) on a non-self object.
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "setattr"
+            and len(node.args) >= 2
+            and not _is_self(node.args[0])
+        ):
+            field = node.args[1]
+            if isinstance(field, ast.Constant) and field.value in ENVELOPE_FIELDS:
+                yield file.finding(
+                    node,
+                    self.rule_id,
+                    f"setattr on .{field.value} of a non-self object looks "
+                    f"like envelope mutation; build a new Envelope instead",
+                )

@@ -1,0 +1,66 @@
+"""BA005: no bare dict-ordered fan-out in protocol hot paths.
+
+Paper invariant: message counts are proved over *canonical* runs — when a
+processor fans a message out to a set of peers, the bound does not depend
+on which peer is served first, so the implementation must not either.
+``dict`` preserves insertion order, and insertion order in a protocol
+inbox is exactly the adversary-controlled delivery order; iterating
+``.items()`` / ``.keys()`` / ``.values()`` bare in protocol code lets
+that order leak into what gets emitted.  Wrap the iteration in
+``sorted(...)`` (with an explicit ``key=`` when values are not
+comparable), or keep it inside an order-insensitive reduction such as
+``sum``/``any``/``max``/``set``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.asthelpers import (
+    comprehension_is_order_insensitive,
+    iteration_sites,
+)
+from repro.lint.engine import Finding, ProjectIndex, Rule, SourceFile, register
+
+#: The dict views whose bare iteration order is insertion order.
+DICT_VIEWS = frozenset({"items", "keys", "values"})
+
+
+def _dict_view_call(node: ast.expr) -> str | None:
+    """The view name when *node* is a bare ``<expr>.items()``-style call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in DICT_VIEWS
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.attr
+    return None
+
+
+@register
+class DictFanoutRule(Rule):
+    rule_id = "BA005"
+    summary = "dict fan-out must be sorted or order-insensitive"
+
+    def applies(self, file: SourceFile) -> bool:
+        return file.protocol_code
+
+    def check(self, file: SourceFile, project: ProjectIndex) -> Iterator[Finding]:
+        for iterated, owner in iteration_sites(file):
+            view = _dict_view_call(iterated)
+            if view is None:
+                continue
+            if owner is not None and comprehension_is_order_insensitive(
+                file, owner
+            ):
+                continue
+            yield file.finding(
+                iterated,
+                self.rule_id,
+                f"bare iteration over .{view}() in protocol code exposes "
+                f"insertion (delivery) order; wrap in sorted(...) or an "
+                f"order-insensitive reduction",
+            )

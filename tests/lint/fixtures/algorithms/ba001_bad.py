@@ -1,0 +1,20 @@
+"""Seeded BA001 violations: nondeterminism in protocol code."""
+
+import random  # line 3: banned module import
+from os import urandom  # line 4: entropy import
+
+
+def choose_recipients(peers):
+    token = urandom(8)  # line 8: entropy call
+    salted = hash(token)  # line 9: salted builtin hash
+    order = []
+    for peer in {p for p in peers}:  # line 11: bare set iteration
+        order.append((salted, peer))
+    jitter = random.random()
+    return order, jitter
+
+
+def fan_out(self, values):
+    pending = set(values)
+    for value in pending:  # line 19: set-valued local iterated bare
+        self.emit(value)

@@ -1,0 +1,27 @@
+"""Seeded BA002 violations: missing, malformed, and wrong bound declarations."""
+
+from repro.core.protocol import AgreementAlgorithm
+
+
+class MissingBounds(AgreementAlgorithm):
+    """Declares nothing at all."""
+
+    name = "missing-bounds"
+
+
+class WrongClosedForm(AgreementAlgorithm):
+    """Registry name algorithm-1, but message_bound is not Theorem 3's."""
+
+    name = "algorithm-1"
+    phase_bound = "theorem3_phases(t)"
+    message_bound = "2*t*t + 3*t"  # paper says 2t^2 + 2t
+    signature_bound = "unstated"
+
+
+class MalformedExpression(AgreementAlgorithm):
+    """Expression language violations."""
+
+    name = "malformed"
+    phase_bound = "__import__('os').system('true')"
+    message_bound = 42  # not a string literal
+    signature_bound = "no_such_formula(t)"

@@ -1,0 +1,12 @@
+"""Seeded BA003 violations: signing outside Context.sign."""
+
+from repro.crypto.signatures import SignatureService, SigningKey
+
+
+class RogueSigner:
+    def __init__(self) -> None:
+        self.service = SignatureService()  # line 8: direct construction
+        self.key = SigningKey(0, object())  # line 9: forged key
+
+    def sign_directly(self, crypto, payload):
+        return crypto.SignatureService().sign(self.key, payload)  # line 12

@@ -1,0 +1,9 @@
+"""Seeded BA004 violations: mutating received envelopes."""
+
+
+def rewrite_history(envelope, value):
+    envelope.payload = value  # line 5: plain assignment
+    envelope.phase += 1  # line 6: augmented assignment
+    object.__setattr__(envelope, "src", 0)  # line 7: frozen bypass
+    setattr(envelope, "dst", 1)  # line 8: setattr loophole
+    return envelope

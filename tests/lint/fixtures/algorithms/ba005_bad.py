@@ -1,0 +1,9 @@
+"""Seeded BA005 violations: bare dict-ordered fan-out."""
+
+
+def relay(self, inbox):
+    for sender, payload in inbox.items():  # line 5: bare .items() loop
+        self.emit(sender, payload)
+    for payload in inbox.values():  # line 7: bare .values() loop
+        self.forward(payload)
+    return [self.wrap(k) for k in inbox.keys()]  # line 9: ordered comprehension

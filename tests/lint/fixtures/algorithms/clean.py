@@ -1,0 +1,53 @@
+"""A module every rule must accept: the canonical deterministic patterns."""
+
+from repro.core.protocol import AgreementAlgorithm
+from repro.crypto.signatures import SignatureService
+
+
+class WellDeclared(AgreementAlgorithm):
+    """Correct Theorem 3 declarations under the algorithm-1 registry name."""
+
+    name = "algorithm-1"
+    phase_bound = "theorem3_phases(t)"
+    message_bound = "theorem3_message_upper_bound(t)"
+    signature_bound = "2*t + 2*t*t*(t + 2)"
+
+
+class UnauthenticatedDeclared(AgreementAlgorithm):
+    """No signature_bound needed when not authenticated."""
+
+    name = "clean-unauthenticated"
+    authenticated = False
+    phase_bound = "t + 1"
+    message_bound = "derived"
+
+
+def orderly_fan_out(self, inbox, peers):
+    # Sorted wrapping makes dict and set iteration canonical.
+    for sender, payload in sorted(inbox.items()):
+        self.emit(sender, payload)
+    for peer in sorted({p for p in peers}):
+        self.ping(peer)
+    # Order-insensitive reductions may consume views bare.
+    total = sum(len(v) for v in inbox.values())
+    seen = {sender for sender in inbox.keys()}
+    loudest = max(inbox.values(), default=None, key=repr)
+    return total, seen, loudest
+
+
+def audited_services(n):
+    # The factory is the sanctioned construction path (BA003).
+    return SignatureService.fresh_registries(n)
+
+
+def suppressed_on_purpose(inbox):
+    collected = []
+    for payload in inbox.values():  # noqa: BA005 — replay order is the point here
+        collected.append(payload)
+    return collected
+
+
+def local_state(self, value):
+    # Assignments to self attributes are processor state, not mutation.
+    self.phase = 3
+    self.payload = value

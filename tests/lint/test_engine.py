@@ -1,0 +1,116 @@
+"""Engine-level behaviour: collection, suppression, parse errors, rendering."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.lint import (
+    LintEngine,
+    all_rules,
+    lint_paths,
+    render_json,
+    render_text,
+)
+from repro.lint.engine import PARSE_RULE_ID
+
+FIXTURES = Path(__file__).parent / "fixtures"
+RULE_IDS = ("BA001", "BA002", "BA003", "BA004", "BA005")
+
+
+def test_registry_exposes_all_rules():
+    assert set(all_rules()) == set(RULE_IDS)
+
+
+def test_engine_runs_every_rule_by_default():
+    report = lint_paths([FIXTURES])
+    assert report.rules_run == sorted(RULE_IDS)
+    assert report.files_checked == len(list(FIXTURES.rglob("*.py")))
+
+
+def test_findings_are_sorted_by_location():
+    report = lint_paths([FIXTURES])
+    assert report.findings == sorted(report.findings)
+    assert not report.ok
+    assert report.exit_code == 1
+
+
+def test_every_rule_fires_on_its_fixture():
+    report = lint_paths([FIXTURES])
+    for rule_id in RULE_IDS:
+        fixture = FIXTURES / "algorithms" / f"{rule_id.lower()}_bad.py"
+        hits = [
+            f
+            for f in report.findings
+            if f.rule == rule_id and Path(f.path) == fixture
+        ]
+        assert hits, f"{rule_id} produced no findings on {fixture.name}"
+        for finding in hits:
+            assert finding.line >= 1
+            assert finding.column >= 1
+
+
+def test_clean_fixture_has_no_findings():
+    report = lint_paths([FIXTURES / "algorithms" / "clean.py"])
+    assert report.ok, render_text(report)
+
+
+def test_noqa_suppresses_by_rule_id(tmp_path):
+    code = (
+        "def f(d):\n"
+        "    for k in d.items():  # noqa: BA005\n"
+        "        pass\n"
+        "    for k in d.items():  # noqa: BA001\n"
+        "        pass\n"
+        "    for k in d.items():  # noqa\n"
+        "        pass\n"
+    )
+    target = tmp_path / "algorithms" / "mod.py"
+    target.parent.mkdir()
+    target.write_text(code)
+    report = lint_paths([target])
+    # Line 2 suppressed by id, line 6 by blanket noqa, line 4 still fires.
+    assert [f.line for f in report.findings if f.rule == "BA005"] == [4]
+
+
+def test_parse_error_becomes_ba000_finding(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    report = lint_paths([bad])
+    assert [f.rule for f in report.findings] == [PARSE_RULE_ID]
+    assert report.files_checked == 0
+    assert report.exit_code == 1
+
+
+def test_render_text_has_locations_and_summary():
+    report = lint_paths([FIXTURES])
+    text = render_text(report)
+    lines = text.splitlines()
+    assert lines[-1].endswith(f"{len(report.findings)} findings")
+    first = report.findings[0]
+    assert lines[0].startswith(f"{first.path}:{first.line}:{first.column} {first.rule}")
+
+
+def test_render_json_round_trips():
+    report = lint_paths([FIXTURES])
+    payload = json.loads(render_json(report))
+    assert payload["ok"] is False
+    assert payload["files_checked"] == report.files_checked
+    assert len(payload["findings"]) == len(report.findings)
+    assert set(payload["findings"][0]) == {"rule", "path", "line", "column", "message"}
+
+
+def test_engine_accepts_rule_subset():
+    engine = LintEngine([all_rules()["BA005"]])
+    report = engine.run([FIXTURES])
+    assert report.rules_run == ["BA005"]
+    assert {f.rule for f in report.findings} == {"BA005"}
+
+
+def test_golden_repro_tree_is_clean():
+    """The shipped package satisfies its own discipline, end to end."""
+    package_root = Path(repro.__file__).parent
+    report = lint_paths([package_root])
+    assert report.ok, render_text(report)
+    assert report.files_checked > 50

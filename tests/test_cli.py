@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.algorithms.algorithm1 import Algorithm1
@@ -130,3 +133,40 @@ class TestCommands:
         )
         assert code == 0
         assert "agreement violated     : True" in capsys.readouterr().out
+
+
+LINT_FIXTURES = str(Path(__file__).parent / "lint" / "fixtures")
+
+
+class TestLintCommand:
+    def test_lint_defaults_to_clean_package(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+
+    def test_lint_explicit_path_text(self, capsys):
+        import repro
+
+        package_root = str(Path(repro.__file__).parent)
+        assert main(["lint", package_root]) == 0
+        out = capsys.readouterr().out
+        assert "files checked, no findings" in out
+
+    def test_lint_seeded_violations_nonzero_exit(self, capsys):
+        assert main(["lint", LINT_FIXTURES]) == 1
+        out = capsys.readouterr().out
+        for rule_id in ("BA001", "BA002", "BA003", "BA004", "BA005"):
+            assert rule_id in out
+        assert "ba001_bad.py:3:1" in out
+
+    def test_lint_missing_path_is_an_error(self, capsys):
+        assert main(["lint", "/no/such/path"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_lint_json_format(self, capsys):
+        assert main(["lint", LINT_FIXTURES, "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["rules_run"] == ["BA001", "BA002", "BA003", "BA004", "BA005"]
+        rules_hit = {f["rule"] for f in payload["findings"]}
+        assert rules_hit == {"BA001", "BA002", "BA003", "BA004", "BA005"}
