@@ -1,15 +1,26 @@
 PYTHON ?= python
 
-.PHONY: test lint check bench
+.PHONY: test lint check bench bench-compare benchmarks
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
-# Protocol linter + ruff + mypy (the latter two only when installed).
+# Protocol linter + ruff + mypy (the latter two only when installed),
+# plus the perf smoke against BENCH_runner.json when it exists.
 lint:
 	./scripts/check.sh
 
 check: lint test
 
+# Time the fixed perf basket and (re)write the committed baseline point.
 bench:
-	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_runner.json
+
+# Diff a fresh bench run against the committed baseline (exit 1 on >25%).
+bench-compare:
+	PYTHONPATH=src $(PYTHON) -m repro bench --output /tmp/bench_current.json
+	PYTHONPATH=src $(PYTHON) scripts/bench_compare.py BENCH_runner.json /tmp/bench_current.json
+
+# Full-resolution experiment benchmarks (pytest-benchmark timings).
+benchmarks:
+	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/ --benchmark-only

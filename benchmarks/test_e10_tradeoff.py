@@ -9,31 +9,33 @@ Algorithm 5's ``s`` sweep shows the same trade-off at the O(n + t²) end.
 """
 
 import math
+from functools import partial
 
-from benchmarks._harness import run_once, show
+from benchmarks._harness import grid_points, run_once, show
 from repro.algorithms.algorithm3 import Algorithm3
 from repro.algorithms.algorithm5 import Algorithm5
-from repro.core.runner import run
-from repro.core.validation import check_byzantine_agreement
 
 
 def test_e10_algorithm3_alpha_frontier(benchmark):
     def workload():
-        rows = []
         t, n = 4, 200
-        for alpha in (1, 2, 4):
-            s = math.ceil(t / alpha)
-            algorithm = Algorithm3(n, t, s=s)
-            result = run(algorithm, 1, record_history=False)
-            assert check_byzantine_agreement(result).ok
+        grid = [
+            ({"alpha": alpha, "s": math.ceil(t / alpha)},
+             partial(Algorithm3, n, t, s=math.ceil(t / alpha)))
+            for alpha in (1, 2, 4)
+        ]
+        rows = []
+        for point in grid_points(grid, values=(1,)):
+            assert point.agreement_ok
+            alpha = point.param("alpha")
             rows.append(
                 {
                     "alpha": alpha,
-                    "s=⌈t/α⌉": s,
-                    "phases": algorithm.num_phases(),
-                    "messages": result.metrics.messages_by_correct,
+                    "s=⌈t/α⌉": point.param("s"),
+                    "phases": point.phases_configured,
+                    "messages": point.messages,
                     "αn scale": alpha * n,
-                    "msgs/αn": result.metrics.messages_by_correct / (alpha * n),
+                    "msgs/αn": point.messages / (alpha * n),
                 }
             )
         return rows
@@ -52,17 +54,18 @@ def test_e10_algorithm3_alpha_frontier(benchmark):
 
 def test_e10_algorithm5_s_frontier(benchmark):
     def workload():
-        rows = []
         t, n = 2, 120
-        for s in (1, 3, 7, 15):
-            algorithm = Algorithm5(n, t, s=s)
-            result = run(algorithm, 1, record_history=False)
-            assert check_byzantine_agreement(result).ok
+        grid = [
+            ({"s": s}, partial(Algorithm5, n, t, s=s)) for s in (1, 3, 7, 15)
+        ]
+        rows = []
+        for point in grid_points(grid, values=(1,)):
+            assert point.agreement_ok
             rows.append(
                 {
-                    "s": s,
-                    "phases": algorithm.num_phases(),
-                    "messages": result.metrics.messages_by_correct,
+                    "s": point.param("s"),
+                    "phases": point.phases_configured,
+                    "messages": point.messages,
                 }
             )
         return rows

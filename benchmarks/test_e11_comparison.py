@@ -18,45 +18,41 @@ Two shape claims are verified:
   per-block gossip overhead; EXPERIMENTS.md discusses the constants.
 """
 
-from benchmarks._harness import run_once, show
+from functools import partial
+
+from benchmarks._harness import grid_points, run_once, show
 from repro.algorithms.active_set import ActiveSetBroadcast
 from repro.algorithms.algorithm3 import Algorithm3
 from repro.algorithms.algorithm5 import Algorithm5
 from repro.algorithms.dolev_strong import DolevStrong
 from repro.algorithms.oral_messages import OralMessages
-from repro.core.runner import run
-from repro.core.validation import check_byzantine_agreement
-
-
-def measure(algorithm):
-    result = run(algorithm, 1, record_history=False)
-    assert check_byzantine_agreement(result).ok
-    return result.metrics
 
 
 def test_e11_comparison_table(benchmark):
     def workload():
         t, n = 2, 120
-        contenders = [
-            ("oral-messages [14]", OralMessages(n, t)),
-            ("dolev-strong [9] classic", DolevStrong(n, t)),
-            ("active-set [9]", ActiveSetBroadcast(n, t)),
-            ("algorithm-3 (Thm 5)", Algorithm3(n, t)),
-            ("algorithm-5 (Thm 7)", Algorithm5(n, t)),
+        grid = [
+            ({"contender": name}, partial(build, n, t))
+            for name, build in (
+                ("oral-messages [14]", OralMessages),
+                ("dolev-strong [9] classic", DolevStrong),
+                ("active-set [9]", ActiveSetBroadcast),
+                ("algorithm-3 (Thm 5)", Algorithm3),
+                ("algorithm-5 (Thm 7)", Algorithm5),
+            )
         ]
         rows = []
-        for name, algorithm in contenders:
-            metrics = measure(algorithm)
-            messages = metrics.messages_by_correct
+        for point in grid_points(grid, values=(1,)):
+            assert point.agreement_ok
             rows.append(
                 {
-                    "algorithm": name,
+                    "algorithm": point.param("contender"),
                     "n": n,
                     "t": t,
-                    "phases": algorithm.num_phases(),
-                    "messages": messages,
-                    "signatures": metrics.signatures_by_correct,
-                    "sigs/msg": metrics.signatures_by_correct / max(1, messages),
+                    "phases": point.phases_configured,
+                    "messages": point.messages,
+                    "signatures": point.signatures,
+                    "sigs/msg": point.signatures / max(1, point.messages),
                 }
             )
         return rows
@@ -78,12 +74,18 @@ def test_e11_marginal_cost_crossover(benchmark):
 
     def workload():
         t = 8
-        points = {}
-        for n in (300, 700):
-            points[n] = {
-                "active-set": measure(ActiveSetBroadcast(n, t)).messages_by_correct,
-                "algorithm-5": measure(Algorithm5(n, t)).messages_by_correct,
-            }
+        grid = [
+            ({"family": name, "n": n}, partial(build, n, t))
+            for n in (300, 700)
+            for name, build in (
+                ("active-set", ActiveSetBroadcast),
+                ("algorithm-5", Algorithm5),
+            )
+        ]
+        points = {300: {}, 700: {}}
+        for point in grid_points(grid, values=(1,)):
+            assert point.agreement_ok
+            points[point.n][point.param("family")] = point.messages
         span = 700 - 300
         rows = []
         for name in ("active-set", "algorithm-5"):

@@ -3,33 +3,39 @@
 Measured here: messages / (n + t³) stays bounded by a fixed constant as n
 grows — the honest empirical reading of an O-bound — and the count is
 *linear in n* for fixed t (the paper's headline for n ≥ t³).
+
+The (t, n) grid runs through the parallel sweep executor
+(:func:`benchmarks._harness.grid_points`), so the full-resolution grid
+scales with the core count.
 """
 
-from benchmarks._harness import run_once, show
+from functools import partial
+
+from benchmarks._harness import grid_points, run_once, show
 from repro.algorithms.algorithm3 import Algorithm3
-from repro.core.runner import run
-from repro.core.validation import check_byzantine_agreement
 
 
 def test_e7_linear_in_n(benchmark):
     def workload():
+        grid = [
+            ({"t": t, "n": n}, partial(Algorithm3, n, t))  # default s = 4t (Theorem 5)
+            for t in (1, 2)
+            for n in (20, 60, 120, 240)
+        ]
         rows = []
-        for t in (1, 2):
-            for n in (20, 60, 120, 240):
-                algorithm = Algorithm3(n, t)  # default s = 4t (Theorem 5)
-                result = run(algorithm, 1, record_history=False)
-                assert check_byzantine_agreement(result).ok
-                scale = n + t**3
-                rows.append(
-                    {
-                        "t": t,
-                        "n": n,
-                        "s=4t": algorithm.s,
-                        "messages": result.metrics.messages_by_correct,
-                        "n + t³": scale,
-                        "ratio": result.metrics.messages_by_correct / scale,
-                    }
-                )
+        for point in grid_points(grid, values=(1,)):
+            assert point.agreement_ok
+            scale = point.n + point.t**3
+            rows.append(
+                {
+                    "t": point.t,
+                    "n": point.n,
+                    "s=4t": 4 * point.t,
+                    "messages": point.messages,
+                    "n + t³": scale,
+                    "ratio": point.messages / scale,
+                }
+            )
         return rows
 
     rows = run_once(benchmark, workload)

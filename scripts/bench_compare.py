@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Diff two ``repro bench`` JSONs and fail on wall-clock regression.
+
+Usage::
+
+    python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Cases are matched by key; a case is a *regression* when its current
+wall-clock exceeds the baseline by more than ``--threshold`` (a fraction:
+0.25 means 25% slower).  Cases present in only one file are reported but
+never fail the comparison — the basket is allowed to grow.
+
+Exit code 0 means no regression, 1 means at least one case regressed,
+2 means the inputs could not be read or are not bench JSONs.
+
+Timing noise caveat: the committed ``BENCH_runner.json`` baseline was
+produced on one specific machine.  Cross-machine comparisons are only
+indicative; regenerate the baseline (``make bench``) when the hardware
+changes, and use a generous threshold in CI smokes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _die(message: str) -> "SystemExit":
+    print(f"bench_compare: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def load_bench(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise _die(f"cannot read {path}: {error}")
+    if not isinstance(document, dict) or "cases" not in document:
+        raise _die(f"{path} is not a repro-bench JSON")
+    schema = document.get("schema", "")
+    if not str(schema).startswith("repro-bench/"):
+        raise _die(f"{path} has unknown schema {schema!r} (expected repro-bench/*)")
+    return document
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> int:
+    if bool(baseline.get("quick")) != bool(current.get("quick")):
+        raise _die(
+            "refusing to compare a --quick basket against a full one (the "
+            "pinned scenario sizes differ); regenerate both with the same mode"
+        )
+    if baseline.get("workers") != current.get("workers"):
+        print(
+            f"note: worker counts differ (baseline "
+            f"{baseline.get('workers')}, current {current.get('workers')}); "
+            f"sweep-case timings reflect that"
+        )
+    base_cases = baseline["cases"]
+    curr_cases = current["cases"]
+    shared = sorted(set(base_cases) & set(curr_cases))
+    only_base = sorted(set(base_cases) - set(curr_cases))
+    only_curr = sorted(set(curr_cases) - set(base_cases))
+
+    regressions = []
+    width = max((len(k) for k in shared), default=4)
+    print(f"{'case':<{width}}  {'baseline s':>11}  {'current s':>11}  {'delta':>8}")
+    for key in shared:
+        base_s = float(base_cases[key]["seconds"])
+        curr_s = float(curr_cases[key]["seconds"])
+        delta = (curr_s - base_s) / base_s if base_s else 0.0
+        flag = ""
+        if delta > threshold:
+            regressions.append((key, delta))
+            flag = "  << REGRESSION"
+        print(f"{key:<{width}}  {base_s:>11.4f}  {curr_s:>11.4f}  {delta:>+7.1%}{flag}")
+
+    for key in only_base:
+        print(f"{key}: only in baseline (skipped)")
+    for key in only_curr:
+        print(f"{key}: only in current (skipped)")
+
+    if regressions:
+        worst = max(regressions, key=lambda item: item[1])
+        print(
+            f"\nFAIL: {len(regressions)} case(s) slower than baseline by more "
+            f"than {threshold:.0%} (worst: {worst[0]} at {worst[1]:+.1%})"
+        )
+        return 1
+    print(f"\nOK: no case regressed beyond {threshold:.0%} over {len(shared)} case(s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline bench JSON (e.g. BENCH_runner.json)")
+    parser.add_argument("current", help="freshly produced bench JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction before failing (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_bench(args.baseline)
+    current = load_bench(args.current)
+    return compare(baseline, current, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

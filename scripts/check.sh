@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full static-analysis gate: the repo's own protocol linter, then the
-# conventional checkers when they are installed (pip install -e '.[lint]').
+# conventional checkers when they are installed (pip install -e '.[lint]'),
+# then an optional perf smoke against the committed bench baseline.
 # The protocol linter is dependency-free and always runs.
 set -euo pipefail
 
@@ -23,6 +24,25 @@ if command -v mypy >/dev/null 2>&1; then
     mypy || status=1
 else
     echo "== mypy == (not installed, skipped)"
+fi
+
+# Optional perf smoke: time the fixed basket and diff it against the
+# committed baseline.  Skipped when no baseline JSON exists or when
+# PERF_SMOKE=0; wall-clock comparisons across different machines are noisy,
+# so the smoke uses a generous threshold (override: PERF_SMOKE_THRESHOLD).
+if [ -f BENCH_runner.json ] && [ "${PERF_SMOKE:-1}" != "0" ]; then
+    echo "== perf smoke =="
+    current="$(mktemp /tmp/bench_current.XXXXXX.json)"
+    if PYTHONPATH=src python -m repro bench --output "$current" >/dev/null; then
+        PYTHONPATH=src python scripts/bench_compare.py BENCH_runner.json "$current" \
+            --threshold "${PERF_SMOKE_THRESHOLD:-0.5}" || status=1
+    else
+        echo "perf smoke: repro bench failed"
+        status=1
+    fi
+    rm -f "$current"
+else
+    echo "== perf smoke == (no baseline or PERF_SMOKE=0, skipped)"
 fi
 
 exit "$status"

@@ -16,6 +16,13 @@ from repro.analysis.export import (
     sweep_to_dicts,
     write_json,
 )
+from repro.analysis.parallel import (
+    ScenarioSpec,
+    default_workers,
+    expand,
+    run_specs,
+    sweep_parallel,
+)
 from repro.analysis.report import ExperimentRecord, ExperimentReport
 from repro.analysis.search import ProbeResult, probe, worst_case_probe
 from repro.analysis.sweep import SweepPoint, measure, sweep, worst_case
@@ -37,7 +44,12 @@ __all__ = [
     "fit_power",
     "history_to_networkx",
     "ExperimentReport",
+    "ScenarioSpec",
     "SweepPoint",
+    "default_workers",
+    "expand",
+    "run_specs",
+    "sweep_parallel",
     "format_markdown_table",
     "format_table",
     "measure",

@@ -8,9 +8,15 @@ experiments`` CLI command.
 
 Each ``experiment_*`` function is independent and returns the records it
 appended, so callers can run a single experiment cheaply.
+
+The grid-shaped experiments (E7, E9, E10, E11, E12) execute through
+:func:`repro.analysis.parallel.sweep_parallel`, so they use every core by
+default; set ``REPRO_SWEEP_WORKERS=1`` to force serial execution.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 from repro.adversary.standard import SilentAdversary
 from repro.algorithms.active_set import ActiveSetBroadcast
@@ -22,6 +28,7 @@ from repro.algorithms.algorithm5 import Algorithm5
 from repro.algorithms.cheap_strawman import UnderSigningBroadcast
 from repro.algorithms.dolev_strong import DolevStrong
 from repro.algorithms.oral_messages import OralMessages
+from repro.analysis.parallel import sweep_parallel
 from repro.analysis.report import ExperimentReport
 from repro.bounds import formulas
 from repro.bounds.theorem1 import theorem1_experiment
@@ -141,10 +148,11 @@ def experiment_e6(report: ExperimentReport) -> None:
 def experiment_e7(report: ExperimentReport) -> None:
     """Theorem 5: linearity in n at s = 4t."""
     t = 2
-    counts = {
-        n: run(Algorithm3(n, t), 1, record_history=False).metrics.messages_by_correct
-        for n in (60, 240)
-    }
+    points = sweep_parallel(
+        [({"n": n}, partial(Algorithm3, n, t)) for n in (60, 240)],
+        values=(1,),
+    )
+    counts = {p.n: p.messages for p in points}
     marginal = (counts[240] - counts[60]) / 180
     report.add(
         "E7 / Theorem 5",
@@ -174,12 +182,11 @@ def experiment_e9(report: ExperimentReport) -> None:
     """Lemma 5 / Theorem 7: Algorithm 5's scales."""
     t = 2
     alpha = Algorithm5(60, t).alpha
-    ratios = []
-    for n in (alpha + 30, alpha + 90):
-        messages = run(
-            Algorithm5(n, t), 1, record_history=False
-        ).metrics.messages_by_correct
-        ratios.append(messages / formulas.theorem7_message_scale(n, t))
+    points = sweep_parallel(
+        [({"n": n}, partial(Algorithm5, n, t)) for n in (alpha + 30, alpha + 90)],
+        values=(1,),
+    )
+    ratios = [p.messages / formulas.theorem7_message_scale(p.n, t) for p in points]
     report.add(
         "E9 / Theorem 7",
         "Algorithm 5 at s = t sends O(n + t²) messages",
@@ -192,11 +199,13 @@ def experiment_e9(report: ExperimentReport) -> None:
 def experiment_e10(report: ExperimentReport) -> None:
     """The introduction's trade-off."""
     t, n = 2, 80
-    points = []
-    for s in (1, 7):
-        algorithm = Algorithm5(n, t, s=s)
-        messages = run(algorithm, 1, record_history=False).metrics.messages_by_correct
-        points.append((algorithm.num_phases(), messages))
+    points = [
+        (p.phases_configured, p.messages)
+        for p in sweep_parallel(
+            [({"s": s}, partial(Algorithm5, n, t, s=s)) for s in (1, 7)],
+            values=(1,),
+        )
+    ]
     report.add(
         "E10 / trade-off",
         "more phases buy fewer messages (s sweep)",
@@ -209,16 +218,18 @@ def experiment_e10(report: ExperimentReport) -> None:
 def experiment_e11(report: ExperimentReport) -> None:
     """The Section 1 comparison ordering."""
     n, t = 60, 2
-    messages = {}
-    for name, algorithm in (
-        ("oral", OralMessages(n, t)),
-        ("ds", DolevStrong(n, t)),
-        ("active", ActiveSetBroadcast(n, t)),
-        ("a3", Algorithm3(n, t)),
-    ):
-        messages[name] = run(
-            algorithm, 1, record_history=False
-        ).metrics.messages_by_correct
+    grid = [
+        ({"family": name}, partial(build, n, t))
+        for name, build in (
+            ("oral", OralMessages),
+            ("ds", DolevStrong),
+            ("active", ActiveSetBroadcast),
+            ("a3", Algorithm3),
+        )
+    ]
+    messages = {
+        p.param("family"): p.messages for p in sweep_parallel(grid, values=(1,))
+    }
     ordered = (
         messages["a3"] < messages["active"] < messages["ds"] < messages["oral"]
     )
@@ -237,13 +248,22 @@ def experiment_e12(report: ExperimentReport) -> None:
     from repro.algorithms.informed import InformedAlgorithm2
 
     n, t = 60, 2
-    chain = run(Algorithm3(n, t), 1, record_history=False).metrics.messages_by_correct
-    proof = run(
-        InformedAlgorithm2(n, t), 1, record_history=False
-    ).metrics.messages_by_correct
-    direct = run(
-        ActiveSetBroadcast(n, t), 1, record_history=False
-    ).metrics.messages_by_correct
+    grid = [
+        ({"strategy": name}, partial(build, n, t))
+        for name, build in (
+            ("chain", Algorithm3),
+            ("proof", InformedAlgorithm2),
+            ("direct", ActiveSetBroadcast),
+        )
+    ]
+    by_strategy = {
+        p.param("strategy"): p.messages for p in sweep_parallel(grid, values=(1,))
+    }
+    chain, proof, direct = (
+        by_strategy["chain"],
+        by_strategy["proof"],
+        by_strategy["direct"],
+    )
     report.add(
         "E12 / ablation",
         "informing strategies: chains < proof fan-out < direct fan-out",

@@ -1,0 +1,183 @@
+"""Parallel sweep executor: the same scenario grids, across processes.
+
+The paper's claims are worst-case counts over ``(n, t, s, α)`` grids, so
+the repo's empirical reach is bounded by how many scenarios it can run per
+second.  Scenarios are embarrassingly parallel — every
+:class:`~repro.analysis.sweep.SweepPoint` is a pure function of its
+scenario spec — so :func:`sweep_parallel` fans a grid out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` and still returns the
+*exact* point stream the serial :func:`~repro.analysis.sweep.sweep` would
+produce, in the same deterministic order.
+
+Requirements for the parallel path (``workers > 1``):
+
+* factories must be picklable — module-level callables, classes, or
+  :func:`functools.partial` over them (the algorithm registry and every
+  algorithm class qualify); closures and lambdas are not, and are rejected
+  with a clear error before any process is spawned;
+* the fault-free adversary is spelled ``None`` (not a lambda returning
+  ``None``).
+
+``workers=1`` is a guaranteed-serial fallback that never pickles anything,
+so it accepts the same lambdas :func:`~repro.analysis.sweep.sweep` does.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.adversary.base import Adversary
+from repro.analysis.sweep import SweepPoint, measure
+from repro.core.protocol import AgreementAlgorithm
+from repro.core.types import Value
+
+#: Builds a fresh, configured algorithm instance (one per measurement).
+AlgorithmFactory = Callable[[], AgreementAlgorithm]
+#: Builds the adversary for one measurement; ``None`` means fault-free.
+AdversaryFactory = Callable[[AgreementAlgorithm], "Adversary | None"]
+
+#: The default adversary axis: a single fault-free column.
+FAULT_FREE: tuple[tuple[str, AdversaryFactory | None], ...] = (("fault-free", None),)
+
+#: Environment knob consulted when ``workers`` is not given explicitly.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """One picklable scenario: everything needed to produce one point."""
+
+    params: tuple[tuple[str, object], ...]
+    factory: AlgorithmFactory
+    adversary_name: str
+    adversary_factory: AdversaryFactory | None
+    value: Value
+
+    def run(self) -> SweepPoint:
+        """Execute the scenario (fresh algorithm instance, fresh run)."""
+        algorithm = self.factory()
+        adversary = (
+            self.adversary_factory(algorithm)
+            if self.adversary_factory is not None
+            else None
+        )
+        return measure(
+            algorithm,
+            self.value,
+            adversary,
+            adversary_name=self.adversary_name,
+            params=dict(self.params),
+        )
+
+
+def expand(
+    configurations: Iterable[tuple[Mapping[str, object], AlgorithmFactory]],
+    values: Iterable[Value] = (0, 1),
+    adversaries: Iterable[tuple[str, AdversaryFactory | None]] = FAULT_FREE,
+) -> list[ScenarioSpec]:
+    """Flatten a cartesian grid into scenario specs.
+
+    The nesting order (configurations → adversaries → values) matches
+    :func:`~repro.analysis.sweep.sweep` exactly, so running the specs in
+    list order reproduces the serial point stream.
+    """
+    adversaries = list(adversaries)
+    values = list(values)
+    return [
+        ScenarioSpec(
+            params=tuple(sorted(params.items())),
+            factory=factory,
+            adversary_name=adversary_name,
+            adversary_factory=adversary_factory,
+            value=value,
+        )
+        for params, factory in configurations
+        for adversary_name, adversary_factory in adversaries
+        for value in values
+    ]
+
+
+def _run_chunk(specs: Sequence[ScenarioSpec]) -> list[SweepPoint]:
+    """Worker entry point: execute one chunk of specs in order."""
+    return [spec.run() for spec in specs]
+
+
+def default_workers() -> int:
+    """Worker count when none is given: ``$REPRO_SWEEP_WORKERS`` or the
+    machine's CPU count."""
+    configured = os.environ.get(WORKERS_ENV, "").strip()
+    if configured:
+        return max(1, int(configured))
+    return os.cpu_count() or 1
+
+
+def _ensure_picklable(specs: Sequence[ScenarioSpec]) -> None:
+    try:
+        pickle.dumps(list(specs))
+    except Exception as error:
+        raise ValueError(
+            "sweep_parallel(workers>1) needs picklable scenario specs: use "
+            "module-level callables, algorithm classes or functools.partial "
+            "as factories (not lambdas/closures), and spell the fault-free "
+            f"adversary as None; pickling failed with: {error!r}"
+        ) from error
+
+
+def _chunked(
+    specs: Sequence[ScenarioSpec], size: int
+) -> list[Sequence[ScenarioSpec]]:
+    return [specs[i : i + size] for i in range(0, len(specs), size)]
+
+
+def run_specs(
+    specs: Sequence[ScenarioSpec],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[SweepPoint]:
+    """Execute *specs* in order, fanning out across processes.
+
+    The returned list is identical (element-wise equal, same order) to
+    ``[spec.run() for spec in specs]`` regardless of *workers* and
+    *chunk_size* — chunks preserve grid order and results are concatenated
+    in submission order.
+    """
+    specs = list(specs)
+    workers = default_workers() if workers is None else max(1, workers)
+    workers = min(workers, len(specs)) if specs else 1
+    if workers <= 1 or len(specs) <= 1:
+        return _run_chunk(specs)
+    _ensure_picklable(specs)
+    if chunk_size is None:
+        # A few chunks per worker keeps the pool busy when scenario costs
+        # are uneven (large-n points dwarf small-n ones) without drowning
+        # the run in inter-process traffic.
+        chunk_size = max(1, -(-len(specs) // (workers * 4)))
+    chunks = _chunked(specs, max(1, chunk_size))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return [point for chunk in pool.map(_run_chunk, chunks) for point in chunk]
+
+
+def sweep_parallel(
+    configurations: Iterable[tuple[Mapping[str, object], AlgorithmFactory]],
+    values: Iterable[Value] = (0, 1),
+    adversaries: Iterable[tuple[str, AdversaryFactory | None]] = FAULT_FREE,
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[SweepPoint]:
+    """Drop-in parallel :func:`~repro.analysis.sweep.sweep`.
+
+    Same grid semantics and point order as ``sweep``; *workers* defaults to
+    :func:`default_workers` (clamped to the grid size), ``workers=1`` runs
+    serially in-process.
+    """
+    return run_specs(
+        expand(configurations, values, adversaries),
+        workers=workers,
+        chunk_size=chunk_size,
+    )

@@ -8,7 +8,7 @@ recording messages / signatures / phases per run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Iterable, Mapping
 
 from repro.adversary.base import Adversary
@@ -39,6 +39,13 @@ class SweepPoint:
         return dict(self.params).get(key, default)
 
     def as_row(self) -> dict[str, object]:
+        """Flatten the point into a table row.
+
+        Sweep params are appended as extra columns.  A param whose name
+        collides with a base column (e.g. a grid swept over ``"n"``) is
+        prefixed with ``param_`` instead of silently overwriting the
+        measured value.
+        """
         row: dict[str, object] = {
             "algorithm": self.algorithm,
             "n": self.n,
@@ -51,7 +58,8 @@ class SweepPoint:
             "bound": self.message_bound,
             "ok": self.agreement_ok,
         }
-        row.update(dict(self.params))
+        for key, value in self.params:
+            row[f"param_{key}" if key in row else key] = value
         return row
 
 
@@ -110,8 +118,25 @@ def sweep(
     return points
 
 
+#: Fields of :class:`SweepPoint` that :func:`worst_case` may maximise.
+WORST_CASE_KEYS = frozenset(
+    f.name for f in fields(SweepPoint) if f.name not in ("params",)
+)
+
+
 def worst_case(points: Iterable[SweepPoint], key: str = "messages") -> SweepPoint:
-    """The point maximising *key* — the paper's bounds are worst-case."""
+    """The point maximising *key* — the paper's bounds are worst-case.
+
+    *key* must name a :class:`SweepPoint` field; besides the default
+    ``"messages"``, the bound-relevant choices are ``"signatures"`` (the
+    Theorem 1 cost measure) and ``"phases_used"`` (the trade-off axis).
+    An unknown key raises :class:`ValueError`.
+    """
+    if key not in WORST_CASE_KEYS:
+        raise ValueError(
+            f"unknown worst_case key {key!r}; expected one of "
+            f"{sorted(WORST_CASE_KEYS)}"
+        )
     points = list(points)
     if not points:
         raise ValueError("no sweep points")

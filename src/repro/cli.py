@@ -233,6 +233,118 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+#: The fixed perf basket: one pinned scenario per registered algorithm.
+#: Sizes are chosen so the full basket finishes in seconds while still
+#: exercising each algorithm's hot path; ``--quick`` halves the sizes for
+#: use as a CI smoke.
+BENCH_BASKET: tuple[tuple[str, int, int], ...] = (
+    ("dolev-strong", 40, 2),
+    ("active-set", 40, 2),
+    ("oral-messages", 11, 2),
+    ("algorithm-1", 9, 4),
+    ("algorithm-2", 7, 3),
+    ("algorithm-3", 120, 2),
+    ("algorithm-5", 120, 2),
+    ("informed-algorithm-2", 120, 2),
+    ("phase-king", 24, 2),
+)
+
+BENCH_BASKET_QUICK: tuple[tuple[str, int, int], ...] = (
+    ("dolev-strong", 20, 2),
+    ("active-set", 20, 2),
+    ("oral-messages", 9, 2),
+    ("algorithm-1", 9, 4),
+    ("algorithm-2", 7, 3),
+    ("algorithm-3", 60, 2),
+    ("algorithm-5", 60, 2),
+    ("informed-algorithm-2", 60, 2),
+    ("phase-king", 16, 2),
+)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the fixed scenario basket and write a ``BENCH_*.json`` point.
+
+    The JSON (schema ``repro-bench/1``) is the unit of the repo's perf
+    trajectory: ``scripts/bench_compare.py`` diffs two of them and fails on
+    regression.  Timings are min-of-``--repeat`` wall-clock seconds.
+    """
+    import json
+    import time
+    from functools import partial
+
+    from repro.analysis.parallel import default_workers, expand, run_specs
+
+    workers = args.workers if args.workers is not None else default_workers()
+    repeat = max(1, args.repeat)
+    basket = BENCH_BASKET_QUICK if args.quick else BENCH_BASKET
+    cases: dict[str, dict[str, object]] = {}
+
+    for name, n, t in basket:
+        info = get(name)
+        seconds = float("inf")
+        messages = 0
+        for _ in range(repeat):
+            algorithm = info(n, t)
+            started = time.perf_counter()
+            result = run_algorithm(algorithm, 1, record_history=False)
+            seconds = min(seconds, time.perf_counter() - started)
+            messages = result.metrics.messages_by_correct
+        cases[f"runner:{name}"] = {
+            "kind": "runner",
+            "n": n,
+            "t": t,
+            "seconds": round(seconds, 6),
+            "messages": messages,
+            "messages_per_sec": round(messages / seconds, 1) if seconds else None,
+        }
+
+    # Large-n sweep throughput: the parallel executor over an E7-style grid.
+    sweep_t = 2
+    sweep_ns = (60, 120) if args.quick else (60, 120, 180, 240)
+    sweep_values = (1,) if args.quick else (0, 1)
+    specs = expand(
+        [({"n": n}, partial(get("algorithm-3").build, n, sweep_t)) for n in sweep_ns],
+        values=sweep_values,
+    )
+    started = time.perf_counter()
+    points = run_specs(specs, workers=workers)
+    seconds = time.perf_counter() - started
+    swept_messages = sum(p.messages for p in points)
+    cases["sweep:algorithm-3:grid"] = {
+        "kind": "sweep",
+        "scenarios": len(specs),
+        "workers": workers,
+        "seconds": round(seconds, 6),
+        "messages": swept_messages,
+        "scenarios_per_sec": round(len(specs) / seconds, 2) if seconds else None,
+        "messages_per_sec": round(swept_messages / seconds, 1) if seconds else None,
+    }
+
+    document = {
+        "schema": "repro-bench/1",
+        "workers": workers,
+        "repeat": repeat,
+        "quick": bool(args.quick),
+        "cases": cases,
+    }
+    rows = [
+        {
+            "case": key,
+            "seconds": data["seconds"],
+            "messages": data["messages"],
+            "msgs/sec": data["messages_per_sec"],
+        }
+        for key, data in cases.items()
+    ]
+    print(format_table(rows, title=f"repro bench (workers={workers}, repeat={repeat})"))
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def cmd_experiments(_: argparse.Namespace) -> int:
     from repro.analysis.experiments import run_all_experiments
 
@@ -305,6 +417,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="fast pass over every paper experiment (E1–E12), verdict table",
     )
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the fixed perf basket and write a BENCH JSON "
+        "(compare two with scripts/bench_compare.py)",
+    )
+    p_bench.add_argument(
+        "--output", default="BENCH_runner.json", help="where to write the JSON"
+    )
+    p_bench.add_argument(
+        "--workers", type=int, default=None,
+        help="sweep worker processes (default: $REPRO_SWEEP_WORKERS or CPU count)",
+    )
+    p_bench.add_argument(
+        "--repeat", type=int, default=3,
+        help="timing repetitions per runner case; min is reported (default: 3)",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller basket for CI smoke runs",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_lint = sub.add_parser(
         "lint",

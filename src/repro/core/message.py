@@ -57,6 +57,10 @@ class CanonicalisationError(TypeError):
     """Raised when a payload contains an object we cannot canonicalise."""
 
 
+#: Scalar types that are their own canonical form.
+_PRIMITIVES = (bool, int, float, str, bytes)
+
+
 def canonical(payload: Any) -> Any:
     """Reduce *payload* to a canonical nested-tuple form.
 
@@ -67,11 +71,16 @@ def canonical(payload: Any) -> Any:
     with their qualified class name), which covers every message type in
     this library.
     """
-    if payload is None or isinstance(payload, (bool, int, float, str, bytes)):
+    if payload is None or isinstance(payload, _PRIMITIVES):
         return payload
     if isinstance(payload, Enum):
         return ("enum", type(payload).__qualname__, payload.name)
     if isinstance(payload, tuple):
+        # Fast path: a tuple of primitives (the dominant payload shape on
+        # hot sign/verify paths) needs no per-item recursion — each item is
+        # already its own canonical form.
+        if all(item is None or isinstance(item, _PRIMITIVES) for item in payload):
+            return ("tuple", *payload)
         return ("tuple", *(canonical(item) for item in payload))
     if isinstance(payload, list):
         return ("list", *(canonical(item) for item in payload))

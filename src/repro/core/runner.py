@@ -66,6 +66,65 @@ class RunResult:
         return next(iter(values))
 
 
+def _route_sorted(sent: list[Envelope]) -> dict[ProcessorId, list[Envelope]]:
+    """Reference delivery: bucket every sent envelope by destination, then
+    stable-sort each inbox by source.
+
+    This is the seed implementation, kept verbatim as the oracle for the
+    equivalence tests of :func:`_route_merged` (``tests/core``); production
+    runs use the merge-based routing below.
+    """
+    pending: dict[ProcessorId, list[Envelope]] = {}
+    for envelope in sent:
+        pending.setdefault(envelope.dst, []).append(envelope)
+    for inbox in pending.values():
+        inbox.sort(key=lambda e: e.src)
+    return pending
+
+
+def _merge_by_src(base: list[Envelope], extra: list[Envelope]) -> list[Envelope]:
+    """Merge two src-sorted envelope lists, *base* winning ties.
+
+    Correct and faulty sender sets are disjoint, so ties cannot actually
+    occur; base-first matches the stable sort of the reference routing.
+    """
+    merged: list[Envelope] = []
+    i = j = 0
+    while i < len(base) and j < len(extra):
+        if extra[j].src < base[i].src:
+            merged.append(extra[j])
+            j += 1
+        else:
+            merged.append(base[i])
+            i += 1
+    merged.extend(base[i:])
+    merged.extend(extra[j:])
+    return merged
+
+
+def _route_merged(
+    sent: list[Envelope], correct_count: int
+) -> dict[ProcessorId, list[Envelope]]:
+    """Optimised delivery: exploit that the first *correct_count* envelopes
+    of *sent* were produced by iterating correct processors in ascending pid
+    order, so per destination they are already sorted by source.  Only the
+    adversary's sends (which may name sources in any order) are sorted, and
+    the two src-sorted streams merge in linear time.
+    """
+    pending: dict[ProcessorId, list[Envelope]] = {}
+    for envelope in sent[:correct_count]:
+        pending.setdefault(envelope.dst, []).append(envelope)
+    if correct_count < len(sent):
+        adversarial: dict[ProcessorId, list[Envelope]] = {}
+        for envelope in sent[correct_count:]:
+            adversarial.setdefault(envelope.dst, []).append(envelope)
+        for dst, extra in adversarial.items():
+            extra.sort(key=lambda e: e.src)
+            base = pending.get(dst)
+            pending[dst] = extra if base is None else _merge_by_src(base, extra)
+    return pending
+
+
 def run(
     algorithm: AgreementAlgorithm,
     input_value: Value,
@@ -73,6 +132,7 @@ def run(
     *,
     rushing: bool = False,
     record_history: bool = True,
+    delivery: str = "merged",
 ) -> RunResult:
     """Execute *algorithm* on *input_value* against *adversary*.
 
@@ -86,6 +146,11 @@ def run(
             match the paper's history model).
         record_history: set ``False`` to skip history recording for large
             parameter sweeps (metrics are always recorded).
+        delivery: inbox routing strategy — ``"merged"`` (default, linear
+            merge of the already-sorted correct traffic with the sorted
+            adversary traffic) or ``"sorted"`` (the straightforward
+            per-inbox sort, kept as the reference for equivalence tests).
+            Both produce identical inboxes; see ``tests/core``.
 
     Returns:
         A :class:`RunResult`.
@@ -96,6 +161,11 @@ def run(
         AdversaryError / ProtocolViolationError: on model violations.
     """
     adversary = adversary if adversary is not None else NullAdversary()
+    if delivery not in ("merged", "sorted"):
+        raise ConfigurationError(
+            f"unknown delivery strategy {delivery!r}; expected 'merged' or 'sorted'"
+        )
+    route_sorted = delivery == "sorted"
     n, t = algorithm.n, algorithm.t
     if (
         algorithm.value_domain is not None
@@ -155,7 +225,6 @@ def run(
 
     for phase in range(1, algorithm.num_phases() + 1):
         inboxes = pending
-        pending = {}
         sent: list[Envelope] = []
 
         for pid in sorted(correct):
@@ -170,6 +239,7 @@ def run(
                         f"processor {pid} sent a message to itself"
                     )
                 sent.append(Envelope(src=pid, dst=dst, phase=phase, payload=payload))
+        correct_count = len(sent)
 
         view = PhaseView(
             phase=phase,
@@ -189,9 +259,9 @@ def run(
 
         for envelope in sent:
             metrics.record_send(envelope, sender_correct=envelope.src in correct)
-            pending.setdefault(envelope.dst, []).append(envelope)
-        for inbox in pending.values():
-            inbox.sort(key=lambda e: e.src)
+        pending = (
+            _route_sorted(sent) if route_sorted else _route_merged(sent, correct_count)
+        )
         if record_history:
             history.append_phase(sent)
 

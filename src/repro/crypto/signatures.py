@@ -80,10 +80,21 @@ class SignatureService:
     :mod:`repro.core.metrics`).
     """
 
+    #: Memo-size backstop; one run never gets near it, but a service reused
+    #: across a very long sweep must not grow without bound.
+    _DIGEST_MEMO_MAX = 1 << 16
+
     def __init__(self) -> None:
         self._issued: set[tuple[ProcessorId, str]] = set()
         self._keys: dict[ProcessorId, SigningKey] = {}
         self._sign_operations = 0
+        #: id(payload) -> (payload, digest).  Protocols forward the *same*
+        #: payload object many times (relay chains re-send what they
+        #: received), so identity-keyed memoisation skips the repeated
+        #: canonicalisation walk.  Holding the payload in the value keeps it
+        #: alive, which is what makes keying on ``id`` sound — a memoised id
+        #: can never be recycled for a different object.
+        self._digest_memo: dict[int, tuple[Any, str]] = {}
 
     # ------------------------------------------------------------------ keys
 
@@ -96,6 +107,26 @@ class SignatureService:
         if pid not in self._keys:
             self._keys[pid] = SigningKey(pid, self)
         return self._keys[pid]
+
+    # --------------------------------------------------------------- digests
+
+    def _digest(self, payload: Any) -> str:
+        """:func:`~repro.core.message.payload_digest`, memoised by identity.
+
+        Behaviour-identical to calling ``payload_digest(payload)`` directly
+        (the digest is a pure function of the payload's value); the memo only
+        short-circuits the canonical walk when the very same object is signed
+        or verified again.
+        """
+        key = id(payload)
+        hit = self._digest_memo.get(key)
+        if hit is not None and hit[0] is payload:
+            return hit[1]
+        digest = payload_digest(payload)
+        if len(self._digest_memo) >= self._DIGEST_MEMO_MAX:
+            self._digest_memo.clear()
+        self._digest_memo[key] = (payload, digest)
+        return digest
 
     # --------------------------------------------------------------- signing
 
@@ -110,7 +141,7 @@ class SignatureService:
             raise ForgeryError(
                 f"key for processor {key.pid} was not issued by this service"
             )
-        digest = payload_digest(payload)
+        digest = self._digest(payload)
         self._issued.add((key.pid, digest))
         self._sign_operations += 1
         return Signature(signer=key.pid, digest=digest)
@@ -148,7 +179,7 @@ class SignatureService:
 
     def verify(self, signature: Signature, payload: Any) -> bool:
         """True iff *signature* was legitimately produced over *payload*."""
-        if payload_digest(payload) != signature.digest:
+        if self._digest(payload) != signature.digest:
             return False
         return (signature.signer, signature.digest) in self._issued
 

@@ -24,6 +24,19 @@ class TestMeasure:
         assert row["t"] == 2
         assert "messages" in row and "bound" in row
 
+    def test_as_row_params_cannot_overwrite_base_columns(self):
+        """A sweep param named like a base column must not clobber the
+        measured value — it gets a ``param_`` prefix instead."""
+        point = measure(
+            Algorithm1(5, 2), 1, params={"n": "grid-n", "messages": -1, "s": 4}
+        )
+        row = point.as_row()
+        assert row["n"] == 5  # the measured system size, not the param
+        assert row["messages"] == point.messages
+        assert row["param_n"] == "grid-n"
+        assert row["param_messages"] == -1
+        assert row["s"] == 4  # non-colliding params keep their names
+
 
 class TestSweep:
     def test_cartesian_product(self):
@@ -65,3 +78,21 @@ class TestWorstCase:
     def test_empty_input_raises(self):
         with pytest.raises(ValueError):
             worst_case([])
+
+    def test_accepts_other_cost_measures(self):
+        points = sweep(
+            [({"t": t}, (lambda t=t: Algorithm1(2 * t + 1, t))) for t in (1, 2)],
+            values=(1,),
+        )
+        assert worst_case(points, key="signatures").param("t") == 2
+        # phases_used ties across this grid (both settle in 2 phases), so
+        # assert the maximum is attained rather than which point wins the tie.
+        worst_phases = worst_case(points, key="phases_used")
+        assert worst_phases.phases_used == max(p.phases_used for p in points)
+
+    def test_unknown_key_raises_value_error(self):
+        points = sweep([({}, lambda: Algorithm1(5, 2))], values=(1,))
+        with pytest.raises(ValueError, match="unknown worst_case key"):
+            worst_case(points, key="message")  # typo for "messages"
+        with pytest.raises(ValueError, match="params"):
+            worst_case(points, key="params")  # real field, not maximisable

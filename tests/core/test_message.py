@@ -73,6 +73,29 @@ class TestCanonical:
         with pytest.raises(CanonicalisationError):
             canonical(object())
 
+    def test_primitive_tuple_fast_path_matches_general_form(self):
+        """The fast path for tuples of primitives must produce exactly the
+        form the general per-item recursion would."""
+        payload = ("vote", 3, None, True, 2.5, b"sig", "p")
+        assert canonical(payload) == ("tuple", *(canonical(item) for item in payload))
+        assert canonical(payload) == ("tuple", *payload)
+
+    def test_mixed_tuple_takes_general_path(self):
+        payload = ("vote", (1, 2), [3])
+        assert canonical(payload) == (
+            "tuple",
+            "vote",
+            ("tuple", 1, 2),
+            ("list", 3),
+        )
+
+    def test_fast_path_digest_stability(self):
+        """Digests over primitive tuples are unchanged by the fast path —
+        pinned value so a future refactor cannot silently re-key every
+        signature registry."""
+        assert payload_digest(("msg", 1, "x")) == "1c7c6b7a42a0fc9e"
+        assert payload_digest(("msg", 1, "x")) != payload_digest(("msg", 1, "y"))
+
 
 class TestPayloadDigest:
     def test_deterministic(self):

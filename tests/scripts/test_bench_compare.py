@@ -1,0 +1,93 @@
+"""Tests for scripts/bench_compare.py (loaded by path; it is not a package)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parents[2] / "scripts" / "bench_compare.py"
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def bench_doc(cases, *, quick=False, workers=1):
+    return {
+        "schema": "repro-bench/1",
+        "workers": workers,
+        "repeat": 3,
+        "quick": quick,
+        "cases": {
+            key: {"kind": "runner", "seconds": seconds}
+            for key, seconds in cases.items()
+        },
+    }
+
+
+def write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+class TestCompare:
+    def test_within_threshold_passes(self, capsys):
+        baseline = bench_doc({"runner:a": 1.0, "runner:b": 2.0})
+        current = bench_doc({"runner:a": 1.1, "runner:b": 1.9})
+        assert bench_compare.compare(baseline, current, threshold=0.25) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_fails(self, capsys):
+        baseline = bench_doc({"runner:a": 1.0})
+        current = bench_doc({"runner:a": 1.5})
+        assert bench_compare.compare(baseline, current, threshold=0.25) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "FAIL" in out
+
+    def test_one_sided_cases_never_fail(self, capsys):
+        baseline = bench_doc({"runner:a": 1.0, "runner:old": 1.0})
+        current = bench_doc({"runner:a": 1.0, "runner:new": 9.0})
+        assert bench_compare.compare(baseline, current, threshold=0.25) == 0
+        out = capsys.readouterr().out
+        assert "only in baseline" in out and "only in current" in out
+
+    def test_quick_vs_full_refused(self):
+        baseline = bench_doc({"runner:a": 1.0}, quick=False)
+        current = bench_doc({"runner:a": 1.0}, quick=True)
+        with pytest.raises(SystemExit) as excinfo:
+            bench_compare.compare(baseline, current, threshold=0.25)
+        assert excinfo.value.code == 2
+
+    def test_worker_mismatch_is_a_note_not_an_error(self, capsys):
+        baseline = bench_doc({"runner:a": 1.0}, workers=1)
+        current = bench_doc({"runner:a": 1.0}, workers=4)
+        assert bench_compare.compare(baseline, current, threshold=0.25) == 0
+        assert "worker counts differ" in capsys.readouterr().out
+
+
+class TestMain:
+    def test_end_to_end_ok(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", bench_doc({"runner:a": 1.0}))
+        current = write(tmp_path, "curr.json", bench_doc({"runner:a": 1.01}))
+        assert bench_compare.main([baseline, current]) == 0
+
+    def test_threshold_flag(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", bench_doc({"runner:a": 1.0}))
+        current = write(tmp_path, "curr.json", bench_doc({"runner:a": 1.2}))
+        assert bench_compare.main([baseline, current]) == 0
+        assert bench_compare.main([baseline, current, "--threshold", "0.1"]) == 1
+
+    def test_unreadable_input_exits_2(self, tmp_path):
+        missing = str(tmp_path / "nope.json")
+        current = write(tmp_path, "curr.json", bench_doc({"runner:a": 1.0}))
+        with pytest.raises(SystemExit) as excinfo:
+            bench_compare.main([missing, current])
+        assert excinfo.value.code == 2
+
+    def test_wrong_schema_exits_2(self, tmp_path):
+        bogus = write(tmp_path, "bogus.json", {"schema": "other/1", "cases": {}})
+        current = write(tmp_path, "curr.json", bench_doc({"runner:a": 1.0}))
+        with pytest.raises(SystemExit) as excinfo:
+            bench_compare.main([bogus, current])
+        assert excinfo.value.code == 2

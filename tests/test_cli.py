@@ -170,3 +170,27 @@ class TestLintCommand:
         assert payload["rules_run"] == ["BA001", "BA002", "BA003", "BA004", "BA005"]
         rules_hit = {f["rule"] for f in payload["findings"]}
         assert rules_hit == {"BA001", "BA002", "BA003", "BA004", "BA005"}
+
+
+class TestBenchCommand:
+    def test_quick_bench_writes_schema_json(self, capsys, tmp_path):
+        output = tmp_path / "bench.json"
+        code = main(
+            ["bench", "--quick", "--repeat", "1", "--output", str(output)]
+        )
+        assert code == 0
+        document = json.loads(output.read_text(encoding="utf-8"))
+        assert document["schema"] == "repro-bench/1"
+        assert document["quick"] is True
+        assert document["repeat"] == 1
+        assert document["workers"] >= 1
+        cases = document["cases"]
+        assert "sweep:algorithm-3:grid" in cases
+        assert any(key.startswith("runner:") for key in cases)
+        for case in cases.values():
+            assert case["seconds"] > 0
+        runner_case = cases["runner:dolev-strong"]
+        assert runner_case["messages_per_sec"] > 0
+        assert cases["sweep:algorithm-3:grid"]["scenarios_per_sec"] > 0
+        out = capsys.readouterr().out
+        assert "bench" in out.lower() or str(output) in out
