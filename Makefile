@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint check bench bench-compare benchmarks
+.PHONY: test lint check bench bench-compare benchmarks fuzz fuzz-smoke
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -24,3 +24,13 @@ bench-compare:
 # Full-resolution experiment benchmarks (pytest-benchmark timings).
 benchmarks:
 	PYTHONPATH=src:. $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Full seeded fuzz campaign over every registered algorithm (deterministic
+# for a fixed seed; failures are shrunk and saved under tests/fuzz_corpus/).
+fuzz:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --algorithm all --budget 200 --seed 0 \
+		--save-corpus tests/fuzz_corpus
+
+# Time-boxed CI smoke: a fixed-seed campaign sized to ~10s.
+fuzz-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --algorithm all --budget 300 --seed 0

@@ -45,4 +45,15 @@ else
     echo "== perf smoke == (no baseline or PERF_SMOKE=0, skipped)"
 fi
 
+# Fuzz smoke: a fixed-seed campaign over every algorithm, sized to ~10s.
+# The campaign is deterministic in its seed, so this is a stable gate;
+# any failure means a generated adversary broke an agreement or declared
+# bound.  Disable with FUZZ_SMOKE=0.
+if [ "${FUZZ_SMOKE:-1}" != "0" ]; then
+    echo "== fuzz smoke =="
+    PYTHONPATH=src python -m repro fuzz --algorithm all --budget 300 --seed 0 || status=1
+else
+    echo "== fuzz smoke == (FUZZ_SMOKE=0, skipped)"
+fi
+
 exit "$status"

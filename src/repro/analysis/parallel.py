@@ -28,7 +28,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Protocol, Sequence, TypeVar
 
 from repro.adversary.base import Adversary
 from repro.analysis.sweep import SweepPoint, measure
@@ -101,9 +101,18 @@ def expand(
     ]
 
 
-def _run_chunk(specs: Sequence[ScenarioSpec]) -> list[SweepPoint]:
-    """Worker entry point: execute one chunk of specs in order."""
-    return [spec.run() for spec in specs]
+class Task(Protocol):
+    """Anything with a zero-argument ``run()`` — the pool's unit of work."""
+
+    def run(self) -> object: ...
+
+
+_TaskT = TypeVar("_TaskT", bound=Task)
+
+
+def _run_chunk(tasks: Sequence[Task]) -> list[object]:
+    """Worker entry point: execute one chunk of tasks in order."""
+    return [task.run() for task in tasks]
 
 
 def default_workers() -> int:
@@ -115,22 +124,51 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def _ensure_picklable(specs: Sequence[ScenarioSpec]) -> None:
+def _ensure_picklable(tasks: Sequence[Task]) -> None:
     try:
-        pickle.dumps(list(specs))
+        pickle.dumps(list(tasks))
     except Exception as error:
         raise ValueError(
-            "sweep_parallel(workers>1) needs picklable scenario specs: use "
-            "module-level callables, algorithm classes or functools.partial "
-            "as factories (not lambdas/closures), and spell the fault-free "
-            f"adversary as None; pickling failed with: {error!r}"
+            "run_tasks(workers>1) needs picklable tasks: use module-level "
+            "callables, algorithm classes or functools.partial as factories "
+            "(not lambdas/closures), and spell the fault-free adversary as "
+            f"None; pickling failed with: {error!r}"
         ) from error
 
 
-def _chunked(
-    specs: Sequence[ScenarioSpec], size: int
-) -> list[Sequence[ScenarioSpec]]:
-    return [specs[i : i + size] for i in range(0, len(specs), size)]
+def _chunked(tasks: Sequence[_TaskT], size: int) -> list[Sequence[_TaskT]]:
+    return [tasks[i : i + size] for i in range(0, len(tasks), size)]
+
+
+def run_tasks(
+    tasks: Sequence[Task],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list:
+    """Execute *tasks* (anything with a picklable ``.run()``) in order.
+
+    The generic engine behind :func:`run_specs` — the fuzz campaign reuses
+    it with :class:`~repro.fuzz.campaign.FuzzCase` tasks.  The returned
+    list is identical (element-wise equal, same order) to
+    ``[task.run() for task in tasks]`` regardless of *workers* and
+    *chunk_size* — chunks preserve submission order and results are
+    concatenated in that order.
+    """
+    tasks = list(tasks)
+    workers = default_workers() if workers is None else max(1, workers)
+    workers = min(workers, len(tasks)) if tasks else 1
+    if workers <= 1 or len(tasks) <= 1:
+        return _run_chunk(tasks)
+    _ensure_picklable(tasks)
+    if chunk_size is None:
+        # A few chunks per worker keeps the pool busy when scenario costs
+        # are uneven (large-n points dwarf small-n ones) without drowning
+        # the run in inter-process traffic.
+        chunk_size = max(1, -(-len(tasks) // (workers * 4)))
+    chunks = _chunked(tasks, max(1, chunk_size))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return [result for chunk in pool.map(_run_chunk, chunks) for result in chunk]
 
 
 def run_specs(
@@ -139,27 +177,8 @@ def run_specs(
     workers: int | None = None,
     chunk_size: int | None = None,
 ) -> list[SweepPoint]:
-    """Execute *specs* in order, fanning out across processes.
-
-    The returned list is identical (element-wise equal, same order) to
-    ``[spec.run() for spec in specs]`` regardless of *workers* and
-    *chunk_size* — chunks preserve grid order and results are concatenated
-    in submission order.
-    """
-    specs = list(specs)
-    workers = default_workers() if workers is None else max(1, workers)
-    workers = min(workers, len(specs)) if specs else 1
-    if workers <= 1 or len(specs) <= 1:
-        return _run_chunk(specs)
-    _ensure_picklable(specs)
-    if chunk_size is None:
-        # A few chunks per worker keeps the pool busy when scenario costs
-        # are uneven (large-n points dwarf small-n ones) without drowning
-        # the run in inter-process traffic.
-        chunk_size = max(1, -(-len(specs) // (workers * 4)))
-    chunks = _chunked(specs, max(1, chunk_size))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return [point for chunk in pool.map(_run_chunk, chunks) for point in chunk]
+    """Execute sweep *specs* in grid order (see :func:`run_tasks`)."""
+    return run_tasks(specs, workers=workers, chunk_size=chunk_size)
 
 
 def sweep_parallel(

@@ -345,6 +345,88 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Seeded fuzz campaign over the registered algorithms.
+
+    Deterministic in ``(--algorithm, --budget, --seed)``: the same invocation
+    prints the same summary regardless of ``--workers``.  Failures are
+    shrunk to minimal counterexamples and, with ``--save-corpus``, persisted
+    as replayable JSON (replay one with ``--replay FILE``).
+    """
+    from repro.fuzz import (
+        CorpusEntry,
+        load_entry,
+        plan_cases,
+        replay_entry,
+        run_campaign,
+        save_entry,
+        shrink_result,
+        summarize,
+    )
+    from repro.fuzz.campaign import default_algorithm_names, known_algorithm_names
+
+    if args.replay:
+        entry = load_entry(args.replay)
+        outcome = replay_entry(entry)
+        print(f"algorithm : {entry.algorithm} (n={entry.n}, t={entry.t}, "
+              f"params={entry.params or '{}'})")
+        print(f"value     : {entry.value}")
+        print(f"script    : {entry.script.describe()}")
+        print(f"recorded  : {entry.verdict} — {entry.detail or '(no detail)'}")
+        print(f"replayed  : {outcome.verdict} — {outcome.detail or '(no detail)'}")
+        reproduced = outcome.verdict == entry.verdict
+        print(f"reproduced: {reproduced}")
+        return 0 if reproduced else 1
+
+    if args.algorithm == "all":
+        names = default_algorithm_names()
+    else:
+        known = known_algorithm_names()
+        if args.algorithm not in known:
+            print(f"repro fuzz: unknown algorithm {args.algorithm!r}; "
+                  f"known: {', '.join(known)} (or 'all')", file=sys.stderr)
+            return 2
+        names = [args.algorithm]
+
+    cases = plan_cases(names, budget=args.budget, seed=args.seed)
+    results = run_campaign(cases, workers=args.workers)
+
+    failures = [r for r in results if r.failed]
+    if failures and not args.no_shrink:
+        failures = [shrink_result(r) for r in failures]
+
+    rows = [s.as_row() for s in summarize(results)]
+    print(format_table(
+        rows,
+        title=f"repro fuzz (budget={args.budget}/algorithm, seed={args.seed})",
+    ))
+
+    for result in failures:
+        case = result.case
+        script = result.minimal_script
+        print(f"\n[{result.outcome.verdict}] {case.algorithm} "
+              f"(n={case.n}, t={case.t}) value={case.value} seed={case.seed}")
+        print(f"  detail : {result.outcome.detail or '(none)'}")
+        print(f"  script : {script.describe()}")
+        if args.save_corpus:
+            entry = CorpusEntry(
+                algorithm=case.algorithm,
+                n=case.n,
+                t=case.t,
+                value=case.value,
+                seed=case.seed,
+                verdict=result.outcome.verdict,
+                detail=result.outcome.detail,
+                script=script,
+                params=dict(case.params),
+            )
+            path = save_entry(args.save_corpus, entry)
+            print(f"  saved  : {path}")
+
+    print(f"\n{len(results)} cases, {len(failures)} failing")
+    return 1 if failures else 0
+
+
 def cmd_experiments(_: argparse.Namespace) -> int:
     from repro.analysis.experiments import run_all_experiments
 
@@ -439,6 +521,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="smaller basket for CI smoke runs",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded adversary fuzzing with counterexample shrinking",
+    )
+    p_fuzz.add_argument(
+        "--algorithm", default="all",
+        help="registry name, or 'all' for every real algorithm (default)",
+    )
+    p_fuzz.add_argument(
+        "--budget", type=int, default=200,
+        help="generated scripts per algorithm (default: 200)",
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign master seed; per-case seeds are derived by hashing",
+    )
+    p_fuzz.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: $REPRO_SWEEP_WORKERS or CPU count); "
+        "the summary is identical for any worker count",
+    )
+    p_fuzz.add_argument(
+        "--save-corpus", default=None, metavar="DIR",
+        help="persist shrunk failures as replayable JSON under DIR",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimising them",
+    )
+    p_fuzz.add_argument(
+        "--replay", default=None, metavar="FILE",
+        help="re-execute one corpus JSON file and check its verdict reproduces",
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_lint = sub.add_parser(
         "lint",

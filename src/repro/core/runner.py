@@ -214,6 +214,13 @@ def run(
             algorithm=algorithm,
         )
     )
+    # Key distribution is complete: every correct processor holds its own
+    # key, the adversary holds exactly the faulty coalition's.  Sealing the
+    # registry makes that allocation final — from here on, key_for() raises,
+    # so nothing running inside the phase loop (a protocol, an adversary, a
+    # generated fuzz primitive) can acquire a correct processor's signing
+    # capability.
+    service.seal()
 
     metrics = MetricsLedger(phases_configured=algorithm.num_phases())
     history = History.with_input(algorithm.transmitter, input_value)

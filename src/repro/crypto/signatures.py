@@ -87,6 +87,7 @@ class SignatureService:
     def __init__(self) -> None:
         self._issued: set[tuple[ProcessorId, str]] = set()
         self._keys: dict[ProcessorId, SigningKey] = {}
+        self._sealed = False
         self._sign_operations = 0
         #: id(payload) -> (payload, digest).  Protocols forward the *same*
         #: payload object many times (relay chains re-send what they
@@ -102,11 +103,30 @@ class SignatureService:
         """Return the unique signing key of *pid* (minting it on first use).
 
         Intended for the runner only; protocols and adversaries receive keys
-        through their contexts and must not call this.
+        through their contexts and must not call this.  Once the runner has
+        distributed every key it calls :meth:`seal`, after which this method
+        raises :class:`~repro.core.errors.ForgeryError` — the enforcement
+        behind "no one can change the contents of a message or the signature
+        undetectably": without sealing, any adversary (or fuzz primitive)
+        could mint a *correct* processor's key mid-run and forge at will.
         """
+        if self._sealed:
+            raise ForgeryError(
+                f"signature registry is sealed; the key for processor {pid} "
+                "can no longer be obtained (use forge() to build signatures "
+                "that verification must reject)"
+            )
         if pid not in self._keys:
             self._keys[pid] = SigningKey(pid, self)
         return self._keys[pid]
+
+    def seal(self) -> None:
+        """Stop handing out signing keys; existing keys keep working.
+
+        The runner calls this once key distribution is complete (after
+        binding the correct processors and the adversary).  Idempotent.
+        """
+        self._sealed = True
 
     # --------------------------------------------------------------- digests
 

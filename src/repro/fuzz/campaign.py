@@ -1,0 +1,255 @@
+"""Fuzz campaigns: per-algorithm budgets, parallel execution, shrinking.
+
+A campaign is a deterministic function of ``(algorithms, budget, seed)``:
+per-case seeds are derived by hashing, scripts are generated up front, and
+the cases fan out over the same process pool the parameter sweeps use
+(:func:`repro.analysis.parallel.run_tasks`), which preserves submission
+order — so the summary is identical for any worker count, and running the
+same campaign twice produces the same bytes.
+
+Shrinking happens after the parallel stage, in-process: failures are rare
+and each shrink needs a tight re-execute loop that would waste pool
+round-trips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.algorithms.registry import ALGORITHMS, STRAWMEN, get
+from repro.core.protocol import AgreementAlgorithm
+from repro.core.types import Value
+from repro.fuzz.generator import generate_script
+from repro.fuzz.oracle import OK, FuzzOutcome, execute_script
+from repro.fuzz.script import AdversaryScript
+from repro.fuzz.shrinker import shrink_script
+
+#: Small-but-faulty configurations per registered algorithm: big enough for
+#: t >= 2 coalitions where the size constraints allow it, small enough that
+#: a 200-case budget per algorithm stays interactive.  Algorithms 1/2 need
+#: n = 2t + 1; Algorithm 5 needs n >= the smallest square above 6t, so it
+#: fuzzes at t = 1.
+FUZZ_CONFIGS: dict[str, tuple[int, int, dict[str, int]]] = {
+    "dolev-strong": (6, 2, {}),
+    "active-set": (8, 2, {}),
+    "oral-messages": (7, 2, {}),
+    "algorithm-1": (7, 3, {}),
+    "algorithm-2": (5, 2, {}),
+    "algorithm-3": (7, 2, {"s": 2}),
+    "algorithm-5": (10, 1, {}),
+    "informed-algorithm-2": (7, 2, {}),
+    "phase-king": (9, 2, {}),
+    # strawmen: deliberately broken counterexample algorithms — fuzzable on
+    # demand (and the seed corpus is built from them), excluded from "all".
+    "strawman-undersigning": (6, 2, {}),
+    "strawman-echo": (6, 2, {}),
+}
+
+#: The values every campaign tries (the paper's algorithms are binary).
+CAMPAIGN_VALUES: tuple[Value, ...] = (0, 1)
+
+
+def derive_seed(master: int, algorithm: str, index: int) -> int:
+    """Stable per-case seed: a hash, not Python's salted ``hash()``."""
+    text = f"{master}:{algorithm}:{index}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(text).digest()[:6], "big")
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One picklable scenario: algorithm configuration + script + value."""
+
+    algorithm: str
+    n: int
+    t: int
+    value: Value
+    seed: int
+    script: AdversaryScript
+    params: tuple[tuple[str, int], ...] = ()
+
+    def build_algorithm(self) -> AgreementAlgorithm:
+        return get(self.algorithm)(self.n, self.t, **dict(self.params))
+
+    def run(self) -> "FuzzResult":
+        """Execute the case (worker-pool entry point)."""
+        outcome = execute_script(self.build_algorithm(), self.value, self.script)
+        return FuzzResult(case=self, outcome=outcome)
+
+
+@dataclass(frozen=True)
+class FuzzResult:
+    """A case plus its oracle verdict (and, later, its shrunk script)."""
+
+    case: FuzzCase
+    outcome: FuzzOutcome
+    shrunk: AdversaryScript | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome.failed
+
+    @property
+    def minimal_script(self) -> AdversaryScript:
+        return self.shrunk if self.shrunk is not None else self.case.script
+
+
+def plan_cases(
+    algorithms: Iterable[str],
+    *,
+    budget: int,
+    seed: int,
+    values: Sequence[Value] = CAMPAIGN_VALUES,
+    configs: Mapping[str, tuple[int, int, dict[str, int]]] | None = None,
+) -> list[FuzzCase]:
+    """Generate the full deterministic case list for a campaign.
+
+    *budget* is per algorithm; case ``i`` fuzzes value ``values[i % len]``
+    under the script of :func:`derive_seed`'s per-case seed, so the list is
+    a pure function of the arguments.
+    """
+    configs = dict(configs) if configs is not None else FUZZ_CONFIGS
+    cases: list[FuzzCase] = []
+    for name in algorithms:
+        if name not in configs:
+            raise KeyError(
+                f"no fuzz configuration for algorithm {name!r}; "
+                f"known: {sorted(configs)}"
+            )
+        n, t, params = configs[name]
+        algorithm = get(name)(n, t, **params)
+        num_phases = algorithm.num_phases()
+        domain = sorted(algorithm.value_domain or {0, 1}, key=repr)
+        for index in range(budget):
+            case_seed = derive_seed(seed, name, index)
+            script = generate_script(
+                case_seed,
+                n=n,
+                t=t,
+                num_phases=num_phases,
+                transmitter=algorithm.transmitter,
+                value_domain=domain,
+            )
+            cases.append(
+                FuzzCase(
+                    algorithm=name,
+                    n=n,
+                    t=t,
+                    value=values[index % len(values)],
+                    seed=case_seed,
+                    script=script,
+                    params=tuple(sorted(params.items())),
+                )
+            )
+    return cases
+
+
+def run_campaign(
+    cases: Sequence[FuzzCase],
+    *,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[FuzzResult]:
+    """Execute *cases* in order across the sweep worker pool."""
+    from repro.analysis.parallel import run_tasks
+
+    return run_tasks(cases, workers=workers, chunk_size=chunk_size)
+
+
+def shrink_result(result: FuzzResult, *, max_attempts: int = 200) -> FuzzResult:
+    """Minimise a failing result's script (no-op for passing results).
+
+    A candidate reproduces when it yields the *same verdict class* as the
+    original failure — shrinking never trades a safety violation for a
+    mere bound excess.
+    """
+    if not result.failed:
+        return result
+    algorithm = result.case.build_algorithm()
+    target = result.outcome.verdict
+    value = result.case.value
+
+    def reproduce(candidate: AdversaryScript) -> bool:
+        probe = execute_script(
+            result.case.build_algorithm(), value, candidate
+        )
+        return probe.verdict == target
+
+    shrunk = shrink_script(
+        result.case.script,
+        reproduce,
+        num_phases=algorithm.num_phases(),
+        max_attempts=max_attempts,
+    )
+    return replace(result, shrunk=shrunk)
+
+
+@dataclass
+class AlgorithmSummary:
+    """Aggregated campaign verdicts for one algorithm."""
+
+    algorithm: str
+    cases: int = 0
+    ok: int = 0
+    safety: int = 0
+    bound: int = 0
+    crash: int = 0
+    worst_messages: int = 0
+    first_failing_seed: int | None = None
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "cases": self.cases,
+            "ok": self.ok,
+            "safety": self.safety,
+            "bound": self.bound,
+            "crash": self.crash,
+            "worst msgs": self.worst_messages,
+            "first failing seed": (
+                self.first_failing_seed
+                if self.first_failing_seed is not None
+                else "-"
+            ),
+        }
+
+
+def summarize(results: Sequence[FuzzResult]) -> list[AlgorithmSummary]:
+    """Per-algorithm verdict counts, in first-seen algorithm order."""
+    summaries: dict[str, AlgorithmSummary] = {}
+    for result in results:
+        name = result.case.algorithm
+        summary = summaries.setdefault(name, AlgorithmSummary(algorithm=name))
+        summary.cases += 1
+        verdict = result.outcome.verdict
+        if verdict == OK:
+            summary.ok += 1
+        elif verdict == "safety":
+            summary.safety += 1
+        elif verdict == "bound":
+            summary.bound += 1
+        else:
+            summary.crash += 1
+        summary.worst_messages = max(
+            summary.worst_messages, result.outcome.messages
+        )
+        if result.failed and summary.first_failing_seed is None:
+            summary.first_failing_seed = result.case.seed
+    return list(summaries.values())
+
+
+def default_algorithm_names() -> list[str]:
+    """The ``--algorithm all`` set: every real registered algorithm that
+    has a fuzz configuration (strawmen excluded — they are *supposed* to
+    fail; fuzz them by name)."""
+    return [name for name in ALGORITHMS if name in FUZZ_CONFIGS]
+
+
+def known_algorithm_names() -> list[str]:
+    """Everything ``repro fuzz --algorithm`` accepts by name."""
+    return [
+        name
+        for name in list(ALGORITHMS) + list(STRAWMEN)
+        if name in FUZZ_CONFIGS
+    ]

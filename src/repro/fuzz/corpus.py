@@ -1,0 +1,121 @@
+"""The failing-seed corpus: shrunk counterexamples as JSON files.
+
+Every failure a campaign finds is persisted as one self-contained JSON
+document (schema ``repro-fuzz/1``): the algorithm configuration, the input
+value, the generating seed, the oracle's verdict, and the (shrunk)
+:class:`~repro.fuzz.script.AdversaryScript`.  The committed corpus lives
+under ``tests/fuzz_corpus/`` and the tier-1 suite replays every entry,
+asserting the recorded verdict still reproduces — counterexamples are
+regression tests, found once and kept forever.
+
+Reproduce one by hand with::
+
+    python -m repro fuzz --replay tests/fuzz_corpus/<file>.json
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.fuzz.script import AdversaryScript
+
+CORPUS_SCHEMA = "repro-fuzz/1"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One persisted counterexample."""
+
+    algorithm: str
+    n: int
+    t: int
+    value: Any
+    seed: int
+    verdict: str
+    detail: str
+    script: AdversaryScript
+    params: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ JSON
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "t": self.t,
+            "params": dict(self.params),
+            "value": self.value,
+            "seed": self.seed,
+            "verdict": self.verdict,
+            "detail": self.detail,
+            "script": self.script.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, Any]) -> "CorpusEntry":
+        schema = data.get("schema")
+        if schema != CORPUS_SCHEMA:
+            raise ValueError(f"unsupported corpus schema {schema!r}")
+        return cls(
+            algorithm=data["algorithm"],
+            n=int(data["n"]),
+            t=int(data["t"]),
+            params={k: int(v) for k, v in data.get("params", {}).items()},
+            value=data["value"],
+            seed=int(data["seed"]),
+            verdict=data["verdict"],
+            detail=data.get("detail", ""),
+            script=AdversaryScript.from_json_dict(data["script"]),
+        )
+
+    def file_name(self) -> str:
+        digest = hashlib.sha256(
+            json.dumps(self.to_json_dict(), sort_keys=True).encode("utf-8")
+        ).hexdigest()[:10]
+        return f"{self.algorithm}-seed{self.seed}-{digest}.json"
+
+
+def save_entry(directory: Path | str, entry: CorpusEntry) -> Path:
+    """Write *entry* under *directory* (created if missing); returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry.file_name()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry.to_json_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_entry(path: Path | str) -> CorpusEntry:
+    """Read one corpus file."""
+    with open(path, encoding="utf-8") as handle:
+        return CorpusEntry.from_json_dict(json.load(handle))
+
+
+def load_entries(directory: Path | str) -> list[tuple[Path, CorpusEntry]]:
+    """Every ``*.json`` under *directory*, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return [
+        (path, load_entry(path)) for path in sorted(directory.glob("*.json"))
+    ]
+
+
+def replay_entry(entry: CorpusEntry):
+    """Re-execute a corpus entry; returns the fresh
+    :class:`~repro.fuzz.oracle.FuzzOutcome`.
+
+    Imported lazily to keep corpus I/O free of the runner dependency chain
+    (useful for tooling that only inspects files).
+    """
+    from repro.algorithms.registry import get
+    from repro.fuzz.oracle import execute_script
+
+    algorithm = get(entry.algorithm)(entry.n, entry.t, **entry.params)
+    return execute_script(algorithm, entry.value, entry.script)

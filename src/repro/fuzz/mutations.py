@@ -1,0 +1,199 @@
+"""Mutation primitives: the composable pieces of a generated adversary.
+
+Each primitive is a small frozen dataclass whose fields fully determine its
+behaviour — no runtime randomness, so a script replays bit-identically and
+pickles cleanly into worker processes.  A primitive names the faulty
+processor it drives (``pid``) and the phase window it is active in
+(``phase_from .. phase_to`` inclusive; ``phase_to=None`` means "until the
+end").  The executor (:class:`~repro.fuzz.script.ScriptAdversary`) hosts a
+correctly-behaving simulated protocol instance per faulty processor and
+applies the primitives as deviations around it, the same
+"correct except ..." shape the paper's proof adversaries use.
+
+The vocabulary mirrors the faults the paper's model admits:
+
+* :class:`DropInbound` / :class:`DropOutbound` — lossy behaviour;
+* :class:`SelectiveSilence` — Theorem 2's primitive ("send to some and not
+  to others");
+* :class:`Equivocate` — a two-faced transmitter (Theorem 1's split);
+* :class:`ReplayStale` — re-sending previously received traffic with its
+  original (still valid) signatures;
+* :class:`ForgeAttempt` — emitting a signature chain that names a victim
+  without holding its key, which verification must reject;
+* :class:`GarbleOutbound` — structurally well-formed junk payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.core.types import ProcessorId
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """Base class: one deviation applied to one faulty processor."""
+
+    #: short stable identifier used by the JSON serialisation.
+    kind: ClassVar[str] = "abstract"
+
+    pid: ProcessorId
+    phase_from: int = 1
+    phase_to: int | None = None
+
+    def active(self, phase: int) -> bool:
+        """True when this primitive applies in *phase*."""
+        if phase < self.phase_from:
+            return False
+        return self.phase_to is None or phase <= self.phase_to
+
+    # ------------------------------------------------------------- serialise
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """A JSON-native dict, round-tripped by :func:`mutation_from_json`."""
+        data: dict[str, Any] = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            data[field.name] = getattr(self, field.name)
+        return data
+
+    def describe(self) -> str:
+        window = (
+            f"@{self.phase_from}" if self.phase_to == self.phase_from
+            else f"@{self.phase_from}..{self.phase_to if self.phase_to is not None else 'end'}"
+        )
+        return f"{self.kind}(p{self.pid}){window}"
+
+
+@dataclass(frozen=True)
+class DropInbound(Mutation):
+    """Discard every ``modulus``-th delivered message (offset ``residue``)
+    before the simulated protocol sees it — a deaf patch, the generated
+    analogue of Theorem 2's ignore-first-``⌈t/2⌉`` behaviour."""
+
+    kind: ClassVar[str] = "drop-inbound"
+
+    modulus: int = 2
+    residue: int = 0
+
+    def keeps(self, index: int) -> bool:
+        return index % self.modulus != self.residue
+
+
+@dataclass(frozen=True)
+class DropOutbound(Mutation):
+    """Discard every ``modulus``-th message the simulated protocol wants to
+    send (offset ``residue``) — lossy, order-dependent message loss."""
+
+    kind: ClassVar[str] = "drop-outbound"
+
+    modulus: int = 2
+    residue: int = 0
+
+    def keeps(self, index: int) -> bool:
+        return index % self.modulus != self.residue
+
+
+@dataclass(frozen=True)
+class SelectiveSilence(Mutation):
+    """Never send to the processors in *targets* — the exact primitive the
+    Theorem 2 proof isolates."""
+
+    kind: ClassVar[str] = "selective-silence"
+
+    targets: tuple[ProcessorId, ...] = ()
+
+
+@dataclass(frozen=True)
+class GarbleOutbound(Mutation):
+    """Replace the payload of every ``modulus``-th outgoing message with a
+    canonicalisable junk tuple.  Receivers must treat it like any other
+    unparseable message; *salt* varies the junk across mutations."""
+
+    kind: ClassVar[str] = "garble-outbound"
+
+    modulus: int = 2
+    residue: int = 0
+    salt: int = 0
+
+    def garbles(self, index: int) -> bool:
+        return index % self.modulus == self.residue
+
+    def junk(self, phase: int) -> tuple[Any, ...]:
+        return ("garbled", int(self.pid), int(phase), int(self.salt))
+
+
+@dataclass(frozen=True)
+class Equivocate(Mutation):
+    """A two-faced transmitter: a second simulated instance runs on the
+    doctored input *alt_value*, and destinations whose id has parity
+    *parity* receive that instance's sends instead of the real one's.
+
+    Only meaningful when ``pid`` is the transmitter (the executor ignores
+    it otherwise) — equivocation about the input is a transmitter fault.
+    """
+
+    kind: ClassVar[str] = "equivocate"
+
+    alt_value: Any = 0
+    parity: int = 0
+
+    def takes_alt(self, dst: ProcessorId) -> bool:
+        return dst % 2 == self.parity
+
+
+@dataclass(frozen=True)
+class ReplayStale(Mutation):
+    """Re-send to *dst* payloads this processor received *lag* phases ago
+    (at most *limit* per phase).  Replayed payloads carry their original
+    signatures, which remain genuine — the scheme binds signers to
+    contents, not to the phase that produced them."""
+
+    kind: ClassVar[str] = "replay-stale"
+
+    dst: ProcessorId = 0
+    lag: int = 1
+    limit: int = 2
+
+
+@dataclass(frozen=True)
+class ForgeAttempt(Mutation):
+    """Send *dst* a one-link signature chain naming *victim* as signer,
+    built without the victim's key.  The registry never issued that
+    signature, so any verifying receiver must discard the message; an
+    algorithm that skips verification is what this primitive catches."""
+
+    kind: ClassVar[str] = "forge-attempt"
+
+    victim: ProcessorId = 0
+    dst: ProcessorId = 0
+    value: Any = 1
+
+
+#: kind string -> dataclass, for JSON round-tripping.
+MUTATION_KINDS: dict[str, type[Mutation]] = {
+    cls.kind: cls
+    for cls in (
+        DropInbound,
+        DropOutbound,
+        SelectiveSilence,
+        GarbleOutbound,
+        Equivocate,
+        ForgeAttempt,
+        ReplayStale,
+    )
+}
+
+
+def mutation_from_json(data: dict[str, Any]) -> Mutation:
+    """Rebuild a mutation from :meth:`Mutation.to_json_dict` output."""
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    cls = MUTATION_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown mutation kind {kind!r}")
+    for name, value in payload.items():
+        if isinstance(value, list):  # JSON has no tuples
+            payload[name] = tuple(value)
+    return cls(**payload)

@@ -1,0 +1,121 @@
+"""The fuzzing oracle: classify one finished (or crashed) run.
+
+Every generated script is judged against two independent contracts:
+
+* the **Byzantine Agreement conditions** (Section 2) via
+  :func:`~repro.core.validation.check_byzantine_agreement` — agreement,
+  validity, and termination of the correct processors;
+* the algorithm's **declared information-exchange budget** (the
+  ``phase/message/signature_bound`` ClassVars introduced with the linter) —
+  the paper's upper-bound theorems claim these hold for *every* t-faulty
+  history, so a generated adversary pushing a correct-processor count above
+  its declared bound is a finding even when agreement still holds.
+
+The two failure modes are deliberately distinguished: ``safety`` means the
+algorithm is wrong, ``bound`` means the declared budget (or the theorem it
+cites) is wrong.  A run that raises is ``crash`` — either a robustness gap
+in a protocol's input validation or a harness bug; both deserve a
+counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.protocol import AgreementAlgorithm
+from repro.core.runner import RunResult, run
+from repro.core.types import Value
+from repro.core.validation import check_byzantine_agreement
+from repro.fuzz.script import AdversaryScript
+
+#: Verdict constants (plain strings: JSON-friendly, picklable).
+OK = "ok"
+SAFETY = "safety"
+BOUND = "bound"
+CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class FuzzOutcome:
+    """The oracle's verdict on one executed script."""
+
+    verdict: str
+    detail: str
+    messages: int = 0
+    signatures: int = 0
+    phases_used: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.verdict != OK
+
+
+def classify_run(algorithm: AgreementAlgorithm, result: RunResult) -> FuzzOutcome:
+    """Judge a finished run: BA conditions first, then declared bounds."""
+    metrics = result.metrics
+    counts = dict(
+        messages=metrics.messages_by_correct,
+        signatures=metrics.signatures_by_correct,
+        phases_used=metrics.last_active_phase,
+    )
+    report = check_byzantine_agreement(result)
+    if not report.ok:
+        return FuzzOutcome(verdict=SAFETY, detail=str(report), **counts)
+
+    message_bound = algorithm.upper_bound_messages()
+    if message_bound is not None and metrics.messages_by_correct > message_bound:
+        return FuzzOutcome(
+            verdict=BOUND,
+            detail=(
+                f"correct processors sent {metrics.messages_by_correct} "
+                f"messages, declared bound {message_bound}"
+            ),
+            **counts,
+        )
+    signature_bound = algorithm.upper_bound_signatures()
+    if (
+        signature_bound is not None
+        and metrics.signatures_by_correct > signature_bound
+    ):
+        return FuzzOutcome(
+            verdict=BOUND,
+            detail=(
+                f"correct processors sent {metrics.signatures_by_correct} "
+                f"signatures, declared bound {signature_bound}"
+            ),
+            **counts,
+        )
+    phase_bound = algorithm.upper_bound_phases()
+    if phase_bound is not None and metrics.last_active_phase > phase_bound:
+        return FuzzOutcome(
+            verdict=BOUND,
+            detail=(
+                f"traffic in phase {metrics.last_active_phase}, declared "
+                f"phase bound {phase_bound}"
+            ),
+            **counts,
+        )
+    return FuzzOutcome(verdict=OK, detail="", **counts)
+
+
+def execute_script(
+    algorithm: AgreementAlgorithm,
+    value: Value,
+    script: AdversaryScript,
+    *,
+    record_history: bool = False,
+) -> FuzzOutcome:
+    """Run *script* against *algorithm* and classify the outcome.
+
+    Exceptions escaping the runner become a ``crash`` verdict rather than
+    propagating: a fuzz campaign must survive its own findings.
+    """
+    try:
+        result = run(
+            algorithm, value, script.build(), record_history=record_history
+        )
+    except Exception as error:
+        return FuzzOutcome(
+            verdict=CRASH, detail=f"{type(error).__name__}: {error}"
+        )
+    return classify_run(algorithm, result)

@@ -1,0 +1,142 @@
+"""Counterexample shrinking: minimise a failing script, keep it failing.
+
+Greedy delta-debugging over the script structure, smallest-first in the
+order that matters for a human reading the counterexample:
+
+1. drop whole mutations (fewest deviations to explain);
+2. drop faulty processors that no remaining mutation drives (smallest
+   coalition);
+3. stop the coalition as early as possible (shortest attack prefix);
+4. narrow each surviving mutation's phase window to a single phase.
+
+Every candidate is re-executed through the caller-supplied ``reproduce``
+predicate — typically "same verdict class as the original failure" — so a
+shrink can never trade one bug for a different one.  The loop runs to a
+fixed point with a hard attempt budget; scripts are tiny, so the budget is
+generous in practice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.fuzz.script import AdversaryScript
+
+#: Predicate: does this candidate script still reproduce the failure?
+Reproducer = Callable[[AdversaryScript], bool]
+
+
+def _without_mutation(script: AdversaryScript, index: int) -> AdversaryScript:
+    mutations = script.mutations[:index] + script.mutations[index + 1 :]
+    return AdversaryScript(
+        faulty=script.faulty, mutations=mutations, stop_phase=script.stop_phase
+    )
+
+
+def _without_idle_faulty(script: AdversaryScript) -> AdversaryScript:
+    driven = {m.pid for m in script.mutations}
+    kept = tuple(pid for pid in script.faulty if pid in driven)
+    if not kept or kept == script.faulty:
+        return script
+    return AdversaryScript(
+        faulty=kept, mutations=script.mutations, stop_phase=script.stop_phase
+    )
+
+
+def _drop_mutations_pass(
+    script: AdversaryScript, reproduce: Reproducer, attempts: list[int]
+) -> AdversaryScript:
+    index = len(script.mutations) - 1
+    while index >= 0 and attempts[0] > 0:
+        candidate = _without_mutation(script, index)
+        attempts[0] -= 1
+        if reproduce(candidate):
+            script = candidate
+        index -= 1
+    return script
+
+
+def _drop_faulty_pass(
+    script: AdversaryScript, reproduce: Reproducer, attempts: list[int]
+) -> AdversaryScript:
+    candidate = _without_idle_faulty(script)
+    if candidate is not script and attempts[0] > 0:
+        attempts[0] -= 1
+        if reproduce(candidate):
+            script = candidate
+    # also try evicting each remaining processor with its mutations
+    for pid in list(script.faulty):
+        if len(script.faulty) <= 1 or attempts[0] <= 0:
+            break
+        candidate = AdversaryScript(
+            faulty=tuple(p for p in script.faulty if p != pid),
+            mutations=tuple(m for m in script.mutations if m.pid != pid),
+            stop_phase=script.stop_phase,
+        )
+        attempts[0] -= 1
+        if reproduce(candidate):
+            script = candidate
+    return script
+
+
+def _stop_early_pass(
+    script: AdversaryScript, reproduce: Reproducer, attempts: list[int], num_phases: int
+) -> AdversaryScript:
+    ceiling = script.stop_phase if script.stop_phase is not None else num_phases + 1
+    for stop in range(1, ceiling):
+        if attempts[0] <= 0:
+            break
+        candidate = AdversaryScript(
+            faulty=script.faulty, mutations=script.mutations, stop_phase=stop
+        )
+        attempts[0] -= 1
+        if reproduce(candidate):
+            return candidate
+    return script
+
+
+def _narrow_windows_pass(
+    script: AdversaryScript, reproduce: Reproducer, attempts: list[int]
+) -> AdversaryScript:
+    for index, mutation in enumerate(script.mutations):
+        if attempts[0] <= 0:
+            break
+        if mutation.phase_to == mutation.phase_from:
+            continue
+        narrowed = dataclasses.replace(mutation, phase_to=mutation.phase_from)
+        candidate = AdversaryScript(
+            faulty=script.faulty,
+            mutations=script.mutations[:index]
+            + (narrowed,)
+            + script.mutations[index + 1 :],
+            stop_phase=script.stop_phase,
+        )
+        attempts[0] -= 1
+        if reproduce(candidate):
+            script = candidate
+    return script
+
+
+def shrink_script(
+    script: AdversaryScript,
+    reproduce: Reproducer,
+    *,
+    num_phases: int,
+    max_attempts: int = 200,
+) -> AdversaryScript:
+    """Minimise *script* while ``reproduce(candidate)`` stays true.
+
+    The input script itself is assumed to reproduce (callers check before
+    shrinking).  Returns the smallest script found — possibly the input.
+    """
+    attempts = [max_attempts]
+    while attempts[0] > 0:
+        before = script.size
+        script = _drop_mutations_pass(script, reproduce, attempts)
+        script = _drop_faulty_pass(script, reproduce, attempts)
+        script = _stop_early_pass(script, reproduce, attempts, num_phases)
+        script = _narrow_windows_pass(script, reproduce, attempts)
+        if script.size >= before:
+            break
+    return script

@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.protocol import Context
 from repro.core.types import TRANSMITTER
 from repro.crypto.signatures import SignatureService
+
+# Deterministic Hypothesis runs by default: property tests are part of the
+# tier-1 suite, so they must not flake.  ``derandomize=True`` derives the
+# examples from the test body itself — same code, same examples, every run.
+# Opt into exploratory randomised search with HYPOTHESIS_PROFILE=explore.
+settings.register_profile("ci", derandomize=True)
+settings.register_profile("explore", derandomize=False, max_examples=400)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 def make_context(

@@ -85,6 +85,33 @@ class TestDeliveryEquivalence:
             run(DolevStrong(4, 1), 1, delivery="bogus")
 
 
+class TestFuzzScriptEquivalence:
+    """Generated adversary scripts through both delivery modes.
+
+    The fuzzer composes every mutation primitive (drops, garbling, replays,
+    forged chains, equivocation), producing far messier source interleavings
+    than the hand-written adversaries above — each seed is a fresh stress
+    case for the merge-vs-sort equivalence."""
+
+    @pytest.mark.parametrize("seed", [1, 7, 23, 41, 97, 131])
+    def test_generated_scripts_dolev_strong(self, seed):
+        from repro.fuzz.generator import generate_script
+
+        factory = lambda: DolevStrong(6, 2)  # noqa: E731
+        num_phases = factory().num_phases()
+        script = generate_script(seed, n=6, t=2, num_phases=num_phases)
+        assert_equivalent(factory, seed % 2, script.build)
+
+    @pytest.mark.parametrize("seed", [3, 11, 59, 101])
+    def test_generated_scripts_oral_messages(self, seed):
+        from repro.fuzz.generator import generate_script
+
+        factory = lambda: OralMessages(7, 2)  # noqa: E731
+        num_phases = factory().num_phases()
+        script = generate_script(seed, n=7, t=2, num_phases=num_phases)
+        assert_equivalent(factory, 1, script.build)
+
+
 class TestRoutingHelpers:
     def envelope(self, src, dst, phase=1, payload="x"):
         return Envelope(src=src, dst=dst, phase=phase, payload=payload)

@@ -78,6 +78,72 @@ class TestEndorse:
         assert not service.verify(signature, "y")
 
 
+class TestSealing:
+    """After ``seal()`` the registry stops minting keys: an adversary that
+    reaches the shared service mid-run must not be able to acquire a
+    *correct* processor's signing capability (the forge-attempt hole the
+    fuzzer's :class:`~repro.fuzz.mutations.ForgeAttempt` probes)."""
+
+    def test_sealed_key_for_raises_typed_error(self, service):
+        service.key_for(0)
+        service.seal()
+        with pytest.raises(ForgeryError):
+            service.key_for(1)
+
+    def test_seal_is_idempotent(self, service):
+        service.seal()
+        service.seal()
+        with pytest.raises(ForgeryError):
+            service.key_for(0)
+
+    def test_preminted_keys_still_sign_after_seal(self, service):
+        key = service.key_for(4)
+        service.seal()
+        signature = service.sign(key, "late message")
+        assert service.verify(signature, "late message")
+
+    def test_forge_still_works_after_seal(self, service):
+        # forge() needs no key — sealing must not break the tests and
+        # adversaries that *attempt* forgeries to assert rejection.
+        service.seal()
+        fake = service.forge(2, "payload")
+        assert not service.verify(fake, "payload")
+
+    def test_clone_is_unsealed(self, service):
+        # The conformance checker replays protocol logic against a clone
+        # and needs fresh keys there.
+        service.seal()
+        clone = service.clone()
+        key = clone.key_for(0)
+        signature = clone.sign(key, "replayed")
+        assert clone.verify(signature, "replayed")
+
+    def test_runner_seals_the_run_service(self):
+        from repro.algorithms.dolev_strong import DolevStrong
+        from repro.core.runner import run
+
+        result = run(DolevStrong(4, 1), 1)
+        with pytest.raises(ForgeryError):
+            result.service.key_for(0)
+
+    def test_adversary_cannot_mint_correct_key_mid_run(self):
+        # An adversary that tries key_for() on the shared service during the
+        # phase loop gets ForgeryError, which the runner surfaces instead of
+        # letting the forgery through.
+        from repro.adversary.base import Adversary
+        from repro.algorithms.dolev_strong import DolevStrong
+        from repro.core.runner import run
+
+        class KeyThief(Adversary):
+            def on_phase(self, view):
+                stolen = self.env.service.key_for(2)  # 2 is correct
+                chain = self.env.service.sign(stolen, "forged")
+                return [(1, 3, chain)]
+
+        with pytest.raises(ForgeryError):
+            run(DolevStrong(4, 1), 1, KeyThief([1]))
+
+
 class TestDigestMemo:
     """The identity-keyed digest memo must be invisible behaviourally —
     same digests, same verdicts — and actually skip recomputation."""

@@ -1,0 +1,67 @@
+"""Generator determinism and structural validity of sampled scripts."""
+
+from repro.fuzz.generator import generate_script
+from repro.fuzz.mutations import Equivocate
+from repro.fuzz.script import AdversaryScript
+
+
+def sample(seed, **overrides):
+    defaults = dict(n=7, t=2, num_phases=4)
+    defaults.update(overrides)
+    return generate_script(seed, **defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_script(self):
+        for seed in range(50):
+            assert sample(seed) == sample(seed)
+
+    def test_scripts_vary_across_seeds(self):
+        scripts = {sample(seed) for seed in range(30)}
+        assert len(scripts) > 10
+
+    def test_json_round_trip(self):
+        for seed in range(20):
+            script = sample(seed)
+            assert AdversaryScript.from_json_dict(script.to_json_dict()) == script
+
+
+class TestStructuralValidity:
+    def test_faulty_within_budget_and_range(self):
+        for seed in range(200):
+            script = sample(seed)
+            assert 1 <= len(script.faulty) <= 2
+            assert all(0 <= pid < 7 for pid in script.faulty)
+            assert list(script.faulty) == sorted(set(script.faulty))
+
+    def test_mutations_reference_faulty_pids(self):
+        for seed in range(200):
+            script = sample(seed)
+            assert all(m.pid in script.faulty for m in script.mutations)
+
+    def test_equivocate_only_on_faulty_transmitter(self):
+        for seed in range(300):
+            script = sample(seed)
+            for m in script.mutations:
+                if isinstance(m, Equivocate):
+                    assert m.pid == 0 and 0 in script.faulty
+
+    def test_at_most_one_equivocation(self):
+        for seed in range(300):
+            script = sample(seed)
+            count = sum(isinstance(m, Equivocate) for m in script.mutations)
+            assert count <= 1
+
+    def test_phase_windows_within_bounds(self):
+        for seed in range(200):
+            script = sample(seed, num_phases=5)
+            for m in script.mutations:
+                assert m.phase_from >= 1
+                if m.phase_to is not None:
+                    assert m.phase_to >= m.phase_from
+
+    def test_transmitter_bias_is_visible(self):
+        corrupted = sum(0 in sample(seed).faulty for seed in range(300))
+        # uniform choice over 7 processors with <=2 faults would corrupt the
+        # transmitter well under 30% of the time; the bias pushes it higher
+        assert corrupted > 100

@@ -1,0 +1,73 @@
+"""Mutation primitives: windows, deterministic parameters, JSON round-trip."""
+
+import pytest
+
+from repro.fuzz.mutations import (
+    MUTATION_KINDS,
+    DropInbound,
+    DropOutbound,
+    Equivocate,
+    ForgeAttempt,
+    GarbleOutbound,
+    ReplayStale,
+    SelectiveSilence,
+    mutation_from_json,
+)
+
+ALL_EXAMPLES = [
+    DropInbound(pid=1, phase_from=2, phase_to=4, modulus=3, residue=1),
+    DropOutbound(pid=0, phase_from=1, phase_to=None, modulus=2, residue=0),
+    SelectiveSilence(pid=2, phase_from=1, phase_to=2, targets=(3, 5)),
+    GarbleOutbound(pid=4, phase_from=3, phase_to=3, modulus=1, residue=0, salt=77),
+    Equivocate(pid=0, phase_from=1, phase_to=None, alt_value=0, parity=1),
+    ForgeAttempt(pid=3, phase_from=2, phase_to=2, victim=1, dst=4, value=1),
+    ReplayStale(pid=2, phase_from=3, phase_to=5, dst=1, lag=2, limit=1),
+]
+
+
+class TestPhaseWindows:
+    def test_window_inclusive(self):
+        m = DropInbound(pid=0, phase_from=2, phase_to=4)
+        assert not m.active(1)
+        assert m.active(2) and m.active(3) and m.active(4)
+        assert not m.active(5)
+
+    def test_open_window_runs_to_end(self):
+        m = SelectiveSilence(pid=0, phase_from=3, phase_to=None, targets=(1,))
+        assert not m.active(2)
+        assert all(m.active(p) for p in range(3, 50))
+
+
+class TestParameters:
+    def test_drop_keeps_by_modulus(self):
+        m = DropInbound(pid=0, modulus=2, residue=0)
+        assert [m.keeps(i) for i in range(4)] == [False, True, False, True]
+
+    def test_drop_everything(self):
+        m = DropInbound(pid=0, modulus=1, residue=0)
+        assert not any(m.keeps(i) for i in range(5))
+
+    def test_garble_junk_is_deterministic_and_canonicalisable(self):
+        from repro.core.message import payload_digest
+
+        m = GarbleOutbound(pid=3, salt=5)
+        assert m.junk(2) == m.junk(2)
+        assert payload_digest(m.junk(2))  # canonicalises without error
+
+    def test_equivocate_parity_partitions_destinations(self):
+        m = Equivocate(pid=0, parity=1)
+        takes = {d for d in range(6) if m.takes_alt(d)}
+        assert takes == {1, 3, 5}
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("mutation", ALL_EXAMPLES, ids=lambda m: m.kind)
+    def test_round_trip_identity(self, mutation):
+        assert mutation_from_json(mutation.to_json_dict()) == mutation
+
+    def test_every_kind_has_an_example(self):
+        assert {m.kind for m in ALL_EXAMPLES} == set(MUTATION_KINDS)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation kind"):
+            mutation_from_json({"kind": "nope", "pid": 0})

@@ -1,9 +1,13 @@
 """Property-based tests for canonicalisation and digests."""
 
+import dataclasses
+from enum import Enum
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.message import canonical, payload_digest
+from repro.core.message import _PRIMITIVES, canonical, payload_digest
+from repro.crypto.signatures import SignatureService
 
 # payloads built only from canonicalisable pieces.
 scalars = st.one_of(
@@ -52,3 +56,80 @@ class TestCanonicalProperties:
     def test_set_canonical_is_order_free(self, members):
         shuffled = frozenset(sorted(members, reverse=True))
         assert canonical(members) == canonical(shuffled)
+
+
+def _canonical_reference(payload):
+    """``canonical()`` with no shortcuts: always recurses per item.
+
+    The production function short-circuits tuples of primitives (the hot
+    sign/verify shape); this reference spells out the general path so the
+    properties below can assert the optimisation is behaviourally invisible.
+    """
+    if payload is None or isinstance(payload, _PRIMITIVES):
+        return payload
+    if isinstance(payload, Enum):
+        return ("enum", type(payload).__qualname__, payload.name)
+    if isinstance(payload, tuple):
+        return ("tuple", *(_canonical_reference(item) for item in payload))
+    if isinstance(payload, list):
+        return ("list", *(_canonical_reference(item) for item in payload))
+    if isinstance(payload, (frozenset, set)):
+        return ("set", *sorted(repr(_canonical_reference(i)) for i in payload))
+    if isinstance(payload, dict):
+        items = sorted(
+            (repr(_canonical_reference(k)), _canonical_reference(v))
+            for k, v in payload.items()
+        )
+        return ("dict", *items)
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        fields = tuple(
+            _canonical_reference(getattr(payload, f.name))
+            for f in dataclasses.fields(payload)
+        )
+        return ("dc", type(payload).__qualname__, *fields)
+    raise TypeError(f"reference cannot canonicalise {type(payload)!r}")
+
+
+# Tuples of primitives — exactly the shape the fast path accepts.
+primitive_tuples = st.tuples(
+    *[
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(-(2**40), 2**40),
+            st.text(max_size=10),
+            st.binary(max_size=10),
+        )
+    ]
+    * 3
+)
+
+
+class TestFastPathEquivalence:
+    """The primitive-tuple fast path and the identity-keyed digest memo are
+    optimisations; on every payload they must agree with the slow path."""
+
+    @given(payloads)
+    @settings(max_examples=120)
+    def test_canonical_matches_reference_on_arbitrary_payloads(self, payload):
+        assert canonical(payload) == _canonical_reference(payload)
+
+    @given(primitive_tuples)
+    def test_canonical_matches_reference_on_fast_path_shape(self, payload):
+        assert canonical(payload) == _canonical_reference(payload)
+
+    @given(st.lists(payloads, min_size=1, max_size=4))
+    @settings(max_examples=60)
+    def test_nested_tuple_payloads_agree(self, items):
+        # mixed tuples: some trip the fast path, some recurse
+        payload = tuple(items) + (("inner", 1), None)
+        assert canonical(payload) == _canonical_reference(payload)
+
+    @given(payloads)
+    @settings(max_examples=80)
+    def test_memoised_digest_matches_slow_path(self, payload):
+        service = SignatureService()
+        slow = payload_digest(payload)
+        assert service._digest(payload) == slow
+        # second call is the memo hit — must still agree
+        assert service._digest(payload) == slow

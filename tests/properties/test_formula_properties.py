@@ -1,0 +1,127 @@
+"""Property-based tests for the closed-form bounds in ``bounds/formulas.py``.
+
+Two families of properties:
+
+* **Monotonicity** — the paper's bounds are counting arguments, so each
+  must grow (weakly) with the parameters it mentions: more processors or
+  more tolerated faults can never *shrink* a worst-case count.
+* **Dominance** — the upper-bound theorems (3, 4, 5) claim to hold for
+  *every* t-faulty history, so the correct-processor message count of any
+  fuzzed run of the corresponding algorithm must stay at or below the
+  closed form.  Hypothesis picks the seeds; the generator turns each seed
+  into an adversary script.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.formulas import (
+    lemma1_message_upper_bound,
+    theorem1_signature_lower_bound,
+    theorem2_message_lower_bound,
+    theorem3_message_upper_bound,
+    theorem4_message_upper_bound,
+    theorem5_message_upper_bound,
+)
+
+small_t = st.integers(min_value=1, max_value=40)
+small_n = st.integers(min_value=3, max_value=200)
+
+
+class TestMonotonicity:
+    @given(small_n, small_t)
+    def test_theorem1_monotone_in_n_and_t(self, n, t):
+        assert theorem1_signature_lower_bound(n + 1, t) >= (
+            theorem1_signature_lower_bound(n, t)
+        )
+        assert theorem1_signature_lower_bound(n, t + 1) >= (
+            theorem1_signature_lower_bound(n, t)
+        )
+
+    @given(small_n, small_t)
+    def test_theorem2_monotone_in_n_and_t(self, n, t):
+        assert theorem2_message_lower_bound(n + 1, t) >= (
+            theorem2_message_lower_bound(n, t)
+        )
+        assert theorem2_message_lower_bound(n, t + 1) >= (
+            theorem2_message_lower_bound(n, t)
+        )
+
+    @given(small_t)
+    def test_theorem3_and_4_monotone_in_t(self, t):
+        assert theorem3_message_upper_bound(t + 1) > theorem3_message_upper_bound(t)
+        assert theorem4_message_upper_bound(t + 1) > theorem4_message_upper_bound(t)
+
+    @given(small_n, small_t)
+    def test_theorem5_monotone_in_n(self, n, t):
+        assert theorem5_message_upper_bound(n + 1, t) >= (
+            theorem5_message_upper_bound(n, t)
+        )
+
+    @given(small_n, small_t, st.integers(min_value=1, max_value=20))
+    def test_lemma1_monotone_in_n(self, n, t, s):
+        assert lemma1_message_upper_bound(n + 1, t, s) >= (
+            lemma1_message_upper_bound(n, t, s)
+        )
+
+    @given(small_t)
+    def test_theorem4_dominates_theorem3(self, t):
+        # Algorithm 2 trades phases for messages but its budget still
+        # dominates Algorithm 1's: 5t^2+5t >= 2t^2+2t.
+        assert theorem4_message_upper_bound(t) >= theorem3_message_upper_bound(t)
+
+
+def _fuzzed_messages(algorithm_name, n, t, seed, value, **params):
+    """Messages sent by correct processors in one generated-adversary run."""
+    from repro.algorithms.registry import get
+    from repro.core.runner import run
+    from repro.fuzz.generator import generate_script
+
+    algorithm = get(algorithm_name)(n, t, **params)
+    script = generate_script(
+        seed,
+        n=n,
+        t=t,
+        num_phases=algorithm.num_phases(),
+        transmitter=algorithm.transmitter,
+        value_domain=sorted(algorithm.value_domain or {0, 1}, key=repr),
+    )
+    result = run(algorithm, value, script.build(), record_history=False)
+    return result.metrics.messages_by_correct
+
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+binary = st.sampled_from([0, 1])
+
+
+class TestBoundsDominateFuzzedRuns:
+    """Measured counts from adversarial runs never exceed the theorems."""
+
+    @given(seeds, binary)
+    @settings(max_examples=25, deadline=None)
+    def test_theorem3_dominates_algorithm1(self, seed, value):
+        t = 2
+        measured = _fuzzed_messages("algorithm-1", 2 * t + 1, t, seed, value)
+        assert measured <= theorem3_message_upper_bound(t)
+
+    @given(seeds, binary)
+    @settings(max_examples=25, deadline=None)
+    def test_theorem4_dominates_algorithm2(self, seed, value):
+        t = 2
+        measured = _fuzzed_messages("algorithm-2", 2 * t + 1, t, seed, value)
+        assert measured <= theorem4_message_upper_bound(t)
+
+    @given(seeds, binary)
+    @settings(max_examples=25, deadline=None)
+    def test_lemma1_dominates_algorithm3(self, seed, value):
+        n, t, s = 7, 2, 2
+        measured = _fuzzed_messages("algorithm-3", n, t, seed, value, s=s)
+        assert measured <= lemma1_message_upper_bound(n, t, s)
+
+    @given(seeds, binary)
+    @settings(max_examples=15, deadline=None)
+    def test_theorem5_dominates_algorithm3_at_default_s(self, seed, value):
+        # Theorem 5 is Lemma 1 evaluated at s = 4t, Algorithm 3's default.
+        n, t = 10, 2
+        measured = _fuzzed_messages("algorithm-3", n, t, seed, value)
+        assert measured <= theorem5_message_upper_bound(n, t)
