@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint check bench bench-compare benchmarks fuzz fuzz-smoke
+.PHONY: test lint check bench bench-compare benchmarks fuzz fuzz-smoke docs-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -20,6 +20,11 @@ bench:
 bench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro bench --output /tmp/bench_current.json
 	PYTHONPATH=src $(PYTHON) scripts/bench_compare.py BENCH_runner.json /tmp/bench_current.json
+
+# Documentation gate: links resolve, JSON examples parse, and the
+# worked `$ repro ...` examples in docs/telemetry.md actually run.
+docs-check:
+	$(PYTHON) scripts/docs_check.py
 
 # Full-resolution experiment benchmarks (pytest-benchmark timings).
 benchmarks:

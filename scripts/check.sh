@@ -26,6 +26,15 @@ else
     echo "== mypy == (not installed, skipped)"
 fi
 
+# Docs gate: links, fenced JSON examples, and the runnable `$ repro ...`
+# examples in docs/telemetry.md.  Dependency-free; disable with DOCS_CHECK=0.
+if [ "${DOCS_CHECK:-1}" != "0" ]; then
+    echo "== docs check =="
+    python scripts/docs_check.py || status=1
+else
+    echo "== docs check == (DOCS_CHECK=0, skipped)"
+fi
+
 # Optional perf smoke: time the fixed basket and diff it against the
 # committed baseline.  Skipped when no baseline JSON exists or when
 # PERF_SMOKE=0; wall-clock comparisons across different machines are noisy,

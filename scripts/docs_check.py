@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Documentation gate: links resolve, examples parse, commands run.
+
+Checks, in order:
+
+1. **Relative links** — every ``[text](target)`` in ``README.md`` and
+   ``docs/*.md`` that is not an absolute URL or a pure ``#fragment``
+   must point at an existing file (anchors on existing files are
+   accepted; the anchor itself is not resolved).
+2. **Fenced JSON** — every ```` ```json ```` block in the checked files
+   must parse.
+3. **Worked examples** — the ``$ repro ...`` lines inside
+   ```` ```console ```` blocks of ``docs/telemetry.md`` are executed in
+   order in one shared temporary directory (as
+   ``PYTHONPATH=src python -m repro ...``); each must exit 0.  Later
+   commands may consume files written by earlier ones, mirroring how a
+   reader would type them.
+4. **Schema pin** — ``docs/telemetry.md`` must mention the current
+   ``TRACE_SCHEMA`` string, so a schema bump cannot leave the docs
+   describing a format the code no longer writes.
+
+Run via ``make docs-check`` (wired into ``scripts/check.sh``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import shlex
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+COMMAND_DOC = REPO / "docs" / "telemetry.md"
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def iter_fences(text: str):
+    """Yield ``(language, body)`` for every fenced block in *text*."""
+    language = None
+    body: list[str] = []
+    for line in text.splitlines():
+        match = FENCE.match(line)
+        if match and language is None:
+            language = match.group(1)
+            body = []
+        elif line.strip() == "```" and language is not None:
+            yield language, "\n".join(body)
+            language = None
+        elif language is not None:
+            body.append(line)
+
+
+def strip_fenced_code(text: str) -> str:
+    """Remove fenced blocks so code snippets cannot fake markdown links."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line) and not in_fence:
+            in_fence = True
+        elif line.strip() == "```" and in_fence:
+            in_fence = False
+        elif not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(path: Path, errors: list[str]) -> None:
+    text = strip_fenced_code(path.read_text(encoding="utf-8"))
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not (path.parent / file_part).exists():
+            errors.append(f"{path.relative_to(REPO)}: broken link -> {target}")
+
+
+def check_json_fences(path: Path, errors: list[str]) -> None:
+    for language, body in iter_fences(path.read_text(encoding="utf-8")):
+        if language != "json" or not body.strip():
+            continue
+        try:
+            json.loads(body)
+        except ValueError as error:
+            errors.append(
+                f"{path.relative_to(REPO)}: unparseable json fence ({error})"
+            )
+
+
+def doc_commands(path: Path) -> list[list[str]]:
+    """The ``$ repro ...`` lines from the console fences, in order."""
+    commands: list[list[str]] = []
+    for language, body in iter_fences(path.read_text(encoding="utf-8")):
+        if language != "console":
+            continue
+        for line in body.splitlines():
+            line = line.strip()
+            if line.startswith("$ repro "):
+                commands.append(shlex.split(line[len("$ repro ") :]))
+    return commands
+
+
+def run_doc_commands(path: Path, errors: list[str]) -> int:
+    commands = doc_commands(path)
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as workdir:
+        for arguments in commands:
+            completed = subprocess.run(
+                [sys.executable, "-m", "repro", *arguments],
+                cwd=workdir,
+                env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+                capture_output=True,
+                text=True,
+            )
+            if completed.returncode != 0:
+                errors.append(
+                    f"{path.relative_to(REPO)}: `repro "
+                    f"{' '.join(arguments)}` exited "
+                    f"{completed.returncode}:\n{completed.stderr.strip()}"
+                )
+    return len(commands)
+
+
+def check_schema_pin(path: Path, errors: list[str]) -> None:
+    sys.path.insert(0, str(REPO / "src"))
+    try:
+        from repro.obs import TRACE_SCHEMA
+    finally:
+        sys.path.remove(str(REPO / "src"))
+    if TRACE_SCHEMA not in path.read_text(encoding="utf-8"):
+        errors.append(
+            f"{path.relative_to(REPO)}: does not mention the current trace "
+            f"schema {TRACE_SCHEMA!r}"
+        )
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in DOC_FILES:
+        check_links(path, errors)
+        check_json_fences(path, errors)
+    executed = run_doc_commands(COMMAND_DOC, errors)
+    check_schema_pin(COMMAND_DOC, errors)
+    files = ", ".join(str(p.relative_to(REPO)) for p in DOC_FILES)
+    print(f"docs-check: {len(DOC_FILES)} files ({files}); "
+          f"{executed} documented commands executed")
+    if errors:
+        for error in errors:
+            print(f"docs-check: {error}", file=sys.stderr)
+        return 1
+    print("docs-check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

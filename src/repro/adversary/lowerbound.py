@@ -79,6 +79,7 @@ def build_split_plan(
     plan: ReplayPlan = {}
 
     def add_from(history: History, to_target: bool) -> None:
+        """Queue replayed sends from *source* into the plan."""
         for phase_number, phase in enumerate(history.phases):
             if phase_number == 0:
                 continue

@@ -298,6 +298,7 @@ class Algorithm5Active(Processor):
         threshold = self.alpha - 2 * self.ctx.t
 
         def qualifies(q: ProcessorId) -> bool:
+            """Whether the candidate chain passes the block's filter."""
             return count_pi(strings, q, index) >= threshold
 
         self.b_set = frozenset(q for q in self._f_list if qualifies(q))
@@ -499,6 +500,7 @@ class Algorithm5Passive(Processor):
         threshold = self.alpha - 2 * self.ctx.t
 
         def pi(q: ProcessorId) -> int:
+            """The processor at position *index* of the tree permutation."""
             return sum(
                 1
                 for lists in listed.values()

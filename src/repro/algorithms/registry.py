@@ -140,11 +140,29 @@ STRAWMEN: dict[str, AlgorithmInfo] = {
 }
 
 
+def _fold(name: str) -> str:
+    """Spelling-insensitive key: lower-case, separators dropped.
+
+    Lets the CLI accept ``algorithm1``, ``Algorithm_1`` or ``ALGORITHM-1``
+    for the canonical ``algorithm-1``.
+    """
+    return name.strip().lower().replace("-", "").replace("_", "").replace(" ", "")
+
+
 def get(name: str) -> AlgorithmInfo:
-    """Look up a registered algorithm (strawmen included) by name."""
+    """Look up a registered algorithm (strawmen included) by name.
+
+    Exact canonical names win; otherwise the lookup is insensitive to
+    case and to ``-``/``_`` separators (see :func:`_fold`).
+    """
     if name in ALGORITHMS:
         return ALGORITHMS[name]
     if name in STRAWMEN:
         return STRAWMEN[name]
+    folded = _fold(name)
+    for registry in (ALGORITHMS, STRAWMEN):
+        for canonical in sorted(registry):
+            if _fold(canonical) == folded:
+                return registry[canonical]
     known = sorted(ALGORITHMS) + sorted(STRAWMEN)
     raise KeyError(f"unknown algorithm {name!r}; known: {known}")

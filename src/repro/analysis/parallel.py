@@ -56,6 +56,20 @@ class ScenarioSpec:
     adversary_name: str
     adversary_factory: AdversaryFactory | None
     value: Value
+    #: Opt-in observability: when set, the scenario's run is traced into a
+    #: deterministically named ``repro-trace/1`` JSONL file under this
+    #: directory (a plain string so the spec stays picklable).
+    trace_dir: str | None = None
+
+    def trace_file_name(self, algorithm_name: str) -> str:
+        """Deterministic, filesystem-safe trace name for this scenario."""
+        parts = [algorithm_name]
+        parts.extend(f"{key}{value}" for key, value in self.params)
+        parts.append(self.adversary_name)
+        parts.append(f"v{self.value}")
+        stem = "-".join(parts)
+        safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in stem)
+        return f"{safe}.jsonl"
 
     def run(self) -> SweepPoint:
         """Execute the scenario (fresh algorithm instance, fresh run)."""
@@ -65,25 +79,44 @@ class ScenarioSpec:
             if self.adversary_factory is not None
             else None
         )
-        return measure(
-            algorithm,
-            self.value,
-            adversary,
-            adversary_name=self.adversary_name,
-            params=dict(self.params),
-        )
+        if self.trace_dir is None:
+            return measure(
+                algorithm,
+                self.value,
+                adversary,
+                adversary_name=self.adversary_name,
+                params=dict(self.params),
+            )
+        from pathlib import Path
+
+        from repro.obs import JsonlTraceSink
+
+        directory = Path(self.trace_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        with JsonlTraceSink(directory / self.trace_file_name(algorithm.name)) as sink:
+            return measure(
+                algorithm,
+                self.value,
+                adversary,
+                adversary_name=self.adversary_name,
+                params=dict(self.params),
+                sinks=(sink,),
+            )
 
 
 def expand(
     configurations: Iterable[tuple[Mapping[str, object], AlgorithmFactory]],
     values: Iterable[Value] = (0, 1),
     adversaries: Iterable[tuple[str, AdversaryFactory | None]] = FAULT_FREE,
+    *,
+    trace_dir: str | None = None,
 ) -> list[ScenarioSpec]:
     """Flatten a cartesian grid into scenario specs.
 
     The nesting order (configurations → adversaries → values) matches
     :func:`~repro.analysis.sweep.sweep` exactly, so running the specs in
-    list order reproduces the serial point stream.
+    list order reproduces the serial point stream.  *trace_dir* opts every
+    scenario into a per-run JSONL trace (see :class:`ScenarioSpec`).
     """
     adversaries = list(adversaries)
     values = list(values)
@@ -94,6 +127,7 @@ def expand(
             adversary_name=adversary_name,
             adversary_factory=adversary_factory,
             value=value,
+            trace_dir=trace_dir,
         )
         for params, factory in configurations
         for adversary_name, adversary_factory in adversaries
@@ -188,15 +222,19 @@ def sweep_parallel(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    trace_dir: str | None = None,
 ) -> list[SweepPoint]:
     """Drop-in parallel :func:`~repro.analysis.sweep.sweep`.
 
     Same grid semantics and point order as ``sweep``; *workers* defaults to
     :func:`default_workers` (clamped to the grid size), ``workers=1`` runs
-    serially in-process.
+    serially in-process.  *trace_dir* opts every scenario into a per-run
+    ``repro-trace/1`` JSONL file under that directory (traces are written
+    by the worker that executes the scenario; names are deterministic, so
+    the file set is identical for any worker count).
     """
     return run_specs(
-        expand(configurations, values, adversaries),
+        expand(configurations, values, adversaries, trace_dir=trace_dir),
         workers=workers,
         chunk_size=chunk_size,
     )

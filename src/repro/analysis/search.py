@@ -60,6 +60,7 @@ def fault_placements(n: int, t: int, *, samples: int, rng: random.Random) -> Ite
     seen: set[tuple[int, ...]] = set()
 
     def emit(placement: Iterable[int]) -> Iterator[tuple[int, ...]]:
+        """Record one explored scenario in the search log."""
         key = tuple(sorted(set(placement)))
         if key and key not in seen and len(key) <= t:
             seen.add(key)

@@ -71,9 +71,17 @@ def measure(
     adversary_name: str = "fault-free",
     params: Mapping[str, object] | None = None,
     record_history: bool = False,
+    sinks: tuple = (),
 ) -> SweepPoint:
-    """Run one scenario and condense it into a :class:`SweepPoint`."""
-    result = run(algorithm, value, adversary, record_history=record_history)
+    """Run one scenario and condense it into a :class:`SweepPoint`.
+
+    *sinks* (``repro.obs`` event sinks) are forwarded to the runner so
+    sweeps can opt into per-scenario traces; the default keeps the
+    un-instrumented fast path.
+    """
+    result = run(
+        algorithm, value, adversary, record_history=record_history, sinks=sinks
+    )
     report = check_byzantine_agreement(result)
     return SweepPoint(
         algorithm=algorithm.name,

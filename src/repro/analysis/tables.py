@@ -25,6 +25,7 @@ def format_table(
     cols = list(columns) if columns is not None else list(rows[0].keys())
 
     def cell(row: Mapping[str, object], col: str) -> str:
+        """Format one value for its column."""
         value = row.get(col)
         if value is None:
             return "-"
@@ -55,6 +56,7 @@ def format_markdown_table(
     cols = list(columns) if columns is not None else list(rows[0].keys())
 
     def cell(row: Mapping[str, object], col: str) -> str:
+        """Format one value for its column."""
         value = row.get(col)
         if value is None:
             return "-"

@@ -30,11 +30,54 @@ class TraceLine:
     signatures: int
 
 
+def _escape_length(text: str, index: int) -> int:
+    """Length of the ``repr`` escape sequence starting at *index*.
+
+    ``repr`` of strings/bytes emits ``\\\\``-style two-character escapes,
+    fixed-width ``\\xHH`` / ``\\uHHHH`` / ``\\UHHHHHHHH`` codes, and (from
+    ``unicodedata``-aware reprs) ``\\N{NAME}``.  Anything not starting a
+    backslash escape has length 1.
+    """
+    if text[index] != "\\" or index + 1 >= len(text):
+        return 1
+    marker = text[index + 1]
+    if marker == "x":
+        return 4
+    if marker == "u":
+        return 6
+    if marker == "U":
+        return 10
+    if marker == "N" and index + 2 < len(text) and text[index + 2] == "{":
+        closing = text.find("}", index + 2)
+        if closing != -1:
+            return closing - index + 1
+    return 2
+
+
+def _clean_cut(text: str, limit: int) -> str:
+    """The longest prefix of *text* of length <= *limit* that does not end
+    mid-escape: a cut point never lands inside a ``\\xHH``-style sequence.
+    """
+    index = 0
+    while index < limit:
+        step = _escape_length(text, index)
+        if index + step > limit:
+            break
+        index += step
+    return text[:index]
+
+
 def describe_payload(payload: object, max_length: int = 60) -> str:
-    """A one-line, truncated description of a message payload."""
+    """A one-line, truncated description of a message payload.
+
+    Truncation respects escape-sequence boundaries: a payload whose
+    ``repr`` contains ``\\xHH`` / ``\\uHHHH`` escapes near the cut point is
+    shortened to the last *complete* escape, never leaving a dangling
+    backslash fragment before the ellipsis.
+    """
     text = repr(payload)
     if len(text) > max_length:
-        text = text[: max_length - 3] + "..."
+        text = _clean_cut(text, max_length - 3) + "..."
     return text
 
 
@@ -94,7 +137,11 @@ def render_trace(
 
     for phase_number in range(len(result.history.phases)):
         phase_lines = by_phase.get(phase_number, [])
-        header = f"--- phase {phase_number} ({len(phase_lines)} messages) ---"
+        phase_signatures = sum(line.signatures for line in phase_lines)
+        header = (
+            f"--- phase {phase_number} ({len(phase_lines)} messages, "
+            f"{phase_signatures} signatures) ---"
+        )
         out.append(header)
         if not phase_lines:
             out.append("    (silent)")

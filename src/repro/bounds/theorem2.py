@@ -102,6 +102,8 @@ class SwitchAttackOutcome:
 
 @dataclass
 class Theorem2Report:
+    """Everything Theorem 2's experiment measured for one algorithm."""
+
     n: int
     t: int
     #: the combined lower bound max{⌈(n−1)/2⌉, ⌊1+t/2⌋·⌈1+t/2⌉}.

@@ -84,6 +84,7 @@ def _build(args: argparse.Namespace) -> AgreementAlgorithm:
 
 
 def cmd_list(_: argparse.Namespace) -> int:
+    """`repro list`: the registered algorithm table."""
     rows = [
         {
             "name": info.name,
@@ -99,9 +100,31 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    """`repro run`: one execution, optionally traced and exported."""
     algorithm = _build(args)
     adversary = parse_adversary(args.adversary, algorithm)
-    result = run_algorithm(algorithm, args.value, adversary)
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    instrument = bool(trace_out or metrics_out)
+
+    trace_sink = None
+    sinks: tuple = ()
+    if trace_out:
+        from repro.obs import JsonlTraceSink
+
+        trace_sink = JsonlTraceSink(trace_out)
+        sinks = (trace_sink,)
+    try:
+        result = run_algorithm(
+            algorithm,
+            args.value,
+            adversary,
+            sinks=sinks,
+            collect_telemetry=instrument,
+        )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
     report = check_byzantine_agreement(result)
 
     print(f"algorithm            : {algorithm.name} (n={algorithm.n}, t={algorithm.t})")
@@ -114,10 +137,36 @@ def cmd_run(args: argparse.Namespace) -> int:
     if bound is not None:
         print(f"paper's message bound: {bound}")
     print(f"byzantine agreement  : {report}")
+    if trace_out:
+        print(f"trace written        : {trace_out}")
+    if metrics_out:
+        from repro.obs import write_metrics
+
+        written = write_metrics(result, metrics_out)
+        print(f"metrics written      : {metrics_out} ({written})")
     return 0 if report.ok else 1
 
 
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """`repro inspect`: summarize and verify a repro-trace/1 file."""
+    import json
+
+    from repro.obs import render_summary, summarize_trace
+
+    try:
+        summary = summarize_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"repro inspect: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 1 if summary.consistency_errors() else 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
+    """`repro compare`: fault-free cost table across the registry."""
     rows = []
     for info in ALGORITHMS.values():
         try:
@@ -141,6 +190,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_theorem1(args: argparse.Namespace) -> int:
+    """`repro theorem1`: the Ω(nt) signature bound as an experiment."""
     report = theorem1_experiment(lambda: _build(args))
     print(f"bound n(t+1)/4         : {float(report.bound):.2f}")
     print(f"signatures in H + G    : {report.signatures_h + report.signatures_g}")
@@ -158,6 +208,7 @@ def cmd_theorem1(args: argparse.Namespace) -> int:
 
 
 def cmd_theorem2(args: argparse.Namespace) -> int:
+    """`repro theorem2`: the Ω(n + t²) message bound as an experiment."""
     report = theorem2_experiment(lambda: _build(args))
     print(f"combined lower bound   : {report.bound}")
     print(f"fault-free messages    : {report.fault_free_messages}")
@@ -176,6 +227,7 @@ def cmd_theorem2(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    """`repro trace`: human-readable phase-by-phase timeline."""
     from repro.analysis.trace import render_trace
 
     algorithm = _build(args)
@@ -186,6 +238,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_conformance(args: argparse.Namespace) -> int:
+    """`repro conformance`: replay §2's correctness rules over a run."""
     from repro.core.conformance import check_conformance
 
     algorithm = _build(args)
@@ -214,6 +267,7 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    """`repro lint`: run the BA001–BA005 protocol linter."""
     from pathlib import Path
 
     import repro
@@ -360,6 +414,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         replay_entry,
         run_campaign,
         save_entry,
+        save_trace,
         shrink_result,
         summarize,
     )
@@ -422,12 +477,15 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             )
             path = save_entry(args.save_corpus, entry)
             print(f"  saved  : {path}")
+            trace_path = save_trace(path, entry)
+            print(f"  trace  : {trace_path}")
 
     print(f"\n{len(results)} cases, {len(failures)} failing")
     return 1 if failures else 0
 
 
 def cmd_experiments(_: argparse.Namespace) -> int:
+    """`repro experiments`: the fast E1–E12 verdict table."""
     from repro.analysis.experiments import run_all_experiments
 
     report = run_all_experiments()
@@ -440,6 +498,7 @@ def cmd_experiments(_: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro` argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dolev-Reischuk 'Bounds on Information Exchange for "
@@ -452,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     def add_system_args(p: argparse.ArgumentParser) -> None:
+        """Attach the shared --n/--t/--s/--value/--adversary options."""
         p.add_argument("--algorithm", required=True, help="registry name")
         p.add_argument("--n", type=int, required=True)
         p.add_argument("--t", type=int, required=True)
@@ -462,7 +522,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_system_args(p_run)
     p_run.add_argument("--value", type=int, default=1)
     p_run.add_argument("--adversary", default=None, help="see module docstring")
+    p_run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a repro-trace/1 JSONL event trace (inspect it with "
+        "'repro inspect FILE')",
+    )
+    p_run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="export run metrics: Prometheus text, or a repro-bench/1 JSON "
+        "when FILE ends in .json (diffable with scripts/bench_compare.py)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_inspect = sub.add_parser(
+        "inspect",
+        help="summarise a saved trace: per-phase histograms, adaptive cost, "
+        "ledger consistency",
+    )
+    p_inspect.add_argument("trace", help="a repro-trace/1 JSONL file")
+    p_inspect.add_argument(
+        "--json", action="store_true",
+        help="machine-readable summary instead of the text report",
+    )
+    p_inspect.set_defaults(func=cmd_inspect)
 
     p_cmp = sub.add_parser("compare", help="fault-free comparison table")
     p_cmp.add_argument("--n", type=int, required=True)
@@ -578,6 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -15,16 +15,18 @@ The runner also records the complete :class:`~repro.core.history.History`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping, Sequence
 
 from repro.adversary.base import Adversary, AdversaryEnvironment, NullAdversary, PhaseView
 from repro.core.errors import AdversaryError, ConfigurationError, ProtocolViolationError
 from repro.core.history import History
 from repro.core.message import Envelope
-from repro.core.metrics import MetricsLedger
+from repro.core.metrics import MetricsLedger, count_signatures
 from repro.core.protocol import AgreementAlgorithm, Context, Processor
 from repro.core.types import INPUT_SOURCE, ProcessorId, Value
 from repro.crypto.signatures import SignatureService
+from repro.obs.events import TRACE_SCHEMA, EventSink, jsonable, safe_digest
+from repro.obs.telemetry import SYSTEM_CLOCK, Clock, PhaseTiming, RunTelemetry
 
 
 @dataclass
@@ -49,6 +51,10 @@ class RunResult:
     #: The run's signature registry — needed to re-verify recorded payloads
     #: (e.g. by the conformance checker or an external proof auditor).
     service: SignatureService | None = None
+    #: Timing profile, recorded only when the run was instrumented (any
+    #: sink attached or ``collect_telemetry=True``); ``None`` on the
+    #: un-instrumented fast path.
+    telemetry: RunTelemetry | None = None
 
     def decision_of(self, pid: ProcessorId) -> Value:
         """Decision of correct processor *pid*."""
@@ -125,6 +131,24 @@ def _route_merged(
     return pending
 
 
+def _emit(
+    sinks: Sequence[EventSink],
+    event: dict[str, Any],
+    telemetry: RunTelemetry | None = None,
+) -> None:
+    """Deliver one trace event to every sink.
+
+    Every call site is guarded by ``if sinks:`` — with no sinks attached
+    this function is never entered, which is what keeps the fast path free
+    of per-message tracing work (``tests/obs`` pins that with a
+    raise-on-call guard).
+    """
+    for sink in sinks:
+        sink.emit(event)
+    if telemetry is not None:
+        telemetry.events_emitted += 1
+
+
 def run(
     algorithm: AgreementAlgorithm,
     input_value: Value,
@@ -133,6 +157,9 @@ def run(
     rushing: bool = False,
     record_history: bool = True,
     delivery: str = "merged",
+    sinks: Sequence[EventSink] = (),
+    collect_telemetry: bool = False,
+    clock: Clock | None = None,
 ) -> RunResult:
     """Execute *algorithm* on *input_value* against *adversary*.
 
@@ -151,6 +178,17 @@ def run(
             adversary traffic) or ``"sorted"`` (the straightforward
             per-inbox sort, kept as the reference for equivalence tests).
             Both produce identical inboxes; see ``tests/core``.
+        sinks: :class:`~repro.obs.events.EventSink` objects receiving the
+            ``repro-trace/1`` event stream (``run_start``, ``phase_start``,
+            ``send``, ``deliver``, ``decide``, ``run_end``).  The default
+            empty tuple is a strict no-op: no event objects are built and
+            no per-message work is added.  The runner never closes sinks.
+        collect_telemetry: record phase/handler timings into
+            :attr:`RunResult.telemetry` even without sinks attached.
+        clock: time source for the telemetry (defaults to
+            :data:`~repro.obs.telemetry.SYSTEM_CLOCK`); inject a
+            :class:`~repro.obs.telemetry.TickClock` for deterministic,
+            byte-reproducible traces.
 
     Returns:
         A :class:`RunResult`.
@@ -222,8 +260,46 @@ def run(
     # capability.
     service.seal()
 
+    sinks = tuple(sinks)
+    telemetry: RunTelemetry | None = None
+    clk = clock if clock is not None else SYSTEM_CLOCK
+    run_wall_started = run_cpu_started = 0.0
+    if sinks or collect_telemetry:
+        telemetry = RunTelemetry()
+        run_wall_started, run_cpu_started = clk.wall(), clk.cpu()
+
     metrics = MetricsLedger(phases_configured=algorithm.num_phases())
     history = History.with_input(algorithm.transmitter, input_value)
+
+    if sinks:
+        _emit(
+            sinks,
+            {
+                "event": "run_start",
+                "schema": TRACE_SCHEMA,
+                "algorithm": algorithm.name,
+                "n": n,
+                "t": t,
+                "transmitter": algorithm.transmitter,
+                "input_value": jsonable(input_value),
+                "faulty": sorted(faulty),
+                "phases_configured": algorithm.num_phases(),
+                "rushing": rushing,
+            },
+            telemetry,
+        )
+        # The phase-0 inedge is delivered at the beginning of phase 1, like
+        # every other phase-k message is delivered at phase k + 1.
+        _emit(
+            sinks,
+            {
+                "event": "deliver",
+                "phase": 1,
+                "dst": algorithm.transmitter,
+                "messages": 1,
+            },
+            telemetry,
+        )
 
     input_edge = Envelope(
         src=INPUT_SOURCE, dst=algorithm.transmitter, phase=0, payload=input_value
@@ -233,9 +309,21 @@ def run(
     for phase in range(1, algorithm.num_phases() + 1):
         inboxes = pending
         sent: list[Envelope] = []
+        phase_wall_started = phase_cpu_started = 0.0
+        if telemetry is not None:
+            phase_wall_started, phase_cpu_started = clk.wall(), clk.cpu()
+        if sinks:
+            _emit(
+                sinks,
+                {"event": "phase_start", "phase": phase, "ledger": metrics.summary()},
+                telemetry,
+            )
 
         for pid in sorted(correct):
+            handler_started = clk.wall() if telemetry is not None else 0.0
             outgoing = processors[pid].on_phase(phase, tuple(inboxes.get(pid, ())))
+            if telemetry is not None:
+                telemetry.add_handler_time(pid, clk.wall() - handler_started)
             for dst, payload in outgoing:
                 if not 0 <= dst < n:
                     raise ProtocolViolationError(
@@ -264,18 +352,83 @@ def run(
                 raise AdversaryError(f"invalid adversary destination {dst}")
             sent.append(Envelope(src=src, dst=dst, phase=phase, payload=payload))
 
-        for envelope in sent:
-            metrics.record_send(envelope, sender_correct=envelope.src in correct)
+        if sinks:
+            for envelope in sent:
+                sender_correct = envelope.src in correct
+                metrics.record_send(envelope, sender_correct=sender_correct)
+                _emit(
+                    sinks,
+                    {
+                        "event": "send",
+                        "phase": phase,
+                        "src": envelope.src,
+                        "dst": envelope.dst,
+                        "digest": safe_digest(envelope.payload),
+                        "signatures": count_signatures(envelope.payload),
+                        "sender_correct": sender_correct,
+                        "messages_total": metrics.total_messages,
+                        "signatures_total": metrics.total_signatures,
+                    },
+                    telemetry,
+                )
+        else:
+            for envelope in sent:
+                metrics.record_send(envelope, sender_correct=envelope.src in correct)
         pending = (
             _route_sorted(sent) if route_sorted else _route_merged(sent, correct_count)
         )
+        if sinks:
+            for dst in sorted(pending):
+                _emit(
+                    sinks,
+                    {
+                        "event": "deliver",
+                        "phase": phase + 1,
+                        "dst": dst,
+                        "messages": len(pending[dst]),
+                    },
+                    telemetry,
+                )
         if record_history:
             history.append_phase(sent)
+        if telemetry is not None:
+            telemetry.per_phase.append(
+                PhaseTiming(
+                    phase=phase,
+                    wall_s=clk.wall() - phase_wall_started,
+                    cpu_s=clk.cpu() - phase_cpu_started,
+                )
+            )
 
     for pid in sorted(correct):
         processors[pid].on_final(tuple(pending.get(pid, ())))
 
     decisions = {pid: processors[pid].decision() for pid in sorted(correct)}
+    if telemetry is not None:
+        telemetry.wall_s = clk.wall() - run_wall_started
+        telemetry.cpu_s = clk.cpu() - run_cpu_started
+    if sinks:
+        for pid in sorted(correct):
+            _emit(
+                sinks,
+                {"event": "decide", "processor": pid, "decision": jsonable(decisions[pid])},
+                telemetry,
+            )
+        _emit(
+            sinks,
+            {
+                "event": "run_end",
+                "ledger": metrics.summary(),
+                "messages_per_phase": {
+                    str(p): c for p, c in sorted(metrics.messages_per_phase.items())
+                },
+                "signatures_per_phase": {
+                    str(p): c for p, c in sorted(metrics.signatures_per_phase.items())
+                },
+                "telemetry": telemetry.to_json_dict() if telemetry is not None else None,
+            },
+            telemetry,
+        )
     return RunResult(
         algorithm_name=algorithm.name,
         n=n,
@@ -289,4 +442,5 @@ def run(
         history=history,
         processors=processors,
         service=service,
+        telemetry=telemetry,
     )

@@ -29,6 +29,7 @@ from repro.fuzz.corpus import (
     load_entry,
     replay_entry,
     save_entry,
+    save_trace,
 )
 from repro.fuzz.generator import generate_script
 from repro.fuzz.mutations import (
@@ -77,6 +78,7 @@ __all__ = [
     "shrink_script",
     "CorpusEntry",
     "save_entry",
+    "save_trace",
     "load_entry",
     "load_entries",
     "replay_entry",

@@ -171,6 +171,7 @@ def shrink_result(result: FuzzResult, *, max_attempts: int = 200) -> FuzzResult:
     value = result.case.value
 
     def reproduce(candidate: AdversaryScript) -> bool:
+        """Re-run one failure and check the verdict reproduces."""
         probe = execute_script(
             result.case.build_algorithm(), value, candidate
         )

@@ -107,15 +107,33 @@ def load_entries(directory: Path | str) -> list[tuple[Path, CorpusEntry]]:
     ]
 
 
-def replay_entry(entry: CorpusEntry):
+def replay_entry(entry: CorpusEntry, *, sinks: tuple = ()):
     """Re-execute a corpus entry; returns the fresh
     :class:`~repro.fuzz.oracle.FuzzOutcome`.
 
     Imported lazily to keep corpus I/O free of the runner dependency chain
-    (useful for tooling that only inspects files).
+    (useful for tooling that only inspects files).  *sinks* receive the
+    replay's ``repro-trace/1`` event stream.
     """
     from repro.algorithms.registry import get
     from repro.fuzz.oracle import execute_script
 
     algorithm = get(entry.algorithm)(entry.n, entry.t, **entry.params)
-    return execute_script(algorithm, entry.value, entry.script)
+    return execute_script(algorithm, entry.value, entry.script, sinks=sinks)
+
+
+def save_trace(entry_path: Path | str, entry: CorpusEntry) -> Path:
+    """Replay *entry* with a trace sink; write the trace next to its JSON.
+
+    The trace lands at ``<entry>.trace.jsonl`` beside the corpus file, so
+    a shrunk counterexample ships with the full event history of the run
+    that exhibits it — ``repro inspect`` shows phase-by-phase where the
+    minimal adversary spends its messages.
+    """
+    from repro.obs import JsonlTraceSink
+
+    entry_path = Path(entry_path)
+    trace_path = entry_path.with_suffix(".trace.jsonl")
+    with JsonlTraceSink(trace_path) as sink:
+        replay_entry(entry, sinks=(sink,))
+    return trace_path

@@ -104,15 +104,23 @@ def execute_script(
     script: AdversaryScript,
     *,
     record_history: bool = False,
+    sinks: tuple = (),
 ) -> FuzzOutcome:
     """Run *script* against *algorithm* and classify the outcome.
 
     Exceptions escaping the runner become a ``crash`` verdict rather than
-    propagating: a fuzz campaign must survive its own findings.
+    propagating: a fuzz campaign must survive its own findings.  *sinks*
+    (``repro.obs`` event sinks) receive the run's trace stream; a crashed
+    run leaves a truncated trace (no ``run_end``), which is itself useful
+    evidence.
     """
     try:
         result = run(
-            algorithm, value, script.build(), record_history=record_history
+            algorithm,
+            value,
+            script.build(),
+            record_history=record_history,
+            sinks=sinks,
         )
     except Exception as error:
         return FuzzOutcome(

@@ -33,6 +33,8 @@ BANNED_CALLS = frozenset({"urandom", "getrandbits", "token_bytes", "token_hex"})
 
 @register
 class DeterminismRule(Rule):
+    """BA001: no entropy, clocks, or unordered-set fan-out in protocol code."""
+
     rule_id = "BA001"
     summary = "protocol code must be deterministic"
 

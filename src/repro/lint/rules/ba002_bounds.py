@@ -88,6 +88,8 @@ def _constant_bool(node: ast.expr | None) -> bool | None:
 
 @register
 class BoundDeclarationRule(Rule):
+    """BA002: concrete algorithms declare phase/message/signature budgets."""
+
     rule_id = "BA002"
     summary = "algorithms must declare paper bounds that match the closed forms"
 

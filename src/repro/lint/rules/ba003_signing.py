@@ -27,6 +27,8 @@ FORBIDDEN_CONSTRUCTORS = frozenset({"SignatureService", "SigningKey"})
 
 @register
 class SigningDisciplineRule(Rule):
+    """BA003: signing goes through ``Context.sign``, never raw services."""
+
     rule_id = "BA003"
     summary = "algorithm modules must sign via Context.sign only"
 

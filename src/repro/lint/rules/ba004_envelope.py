@@ -42,6 +42,8 @@ def _envelope_field_target(target: ast.expr) -> str | None:
 
 @register
 class EnvelopeImmutabilityRule(Rule):
+    """BA004: received envelopes are history — never mutated, even via loopholes."""
+
     rule_id = "BA004"
     summary = "never mutate a received Envelope"
 

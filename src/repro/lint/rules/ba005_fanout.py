@@ -42,6 +42,8 @@ def _dict_view_call(node: ast.expr) -> str | None:
 
 @register
 class DictFanoutRule(Rule):
+    """BA005: dict-view fan-out in protocol code is sorted or order-insensitive."""
+
     rule_id = "BA005"
     summary = "dict fan-out must be sorted or order-insensitive"
 

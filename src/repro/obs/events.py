@@ -1,0 +1,165 @@
+"""Event sinks: the runner's structured trace stream.
+
+The runner can be handed any number of :class:`EventSink` objects via its
+``sinks=`` keyword; during the run it emits schema-versioned
+(``repro-trace/1``) events — ``run_start``, ``phase_start``, ``send``,
+``deliver``, ``decide``, ``run_end`` — each a flat JSON-able mapping.
+:class:`JsonlTraceSink` persists the stream as JSON Lines (one event per
+line, compact separators, sorted keys), which makes two traces of the same
+seeded run byte-comparable; :class:`ListSink` keeps the events in memory
+for tests and ad-hoc analysis.
+
+The event vocabulary and the per-event fields are documented in
+``docs/telemetry.md``; :mod:`repro.obs.inspect` is the reference consumer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.core.message import CanonicalisationError, payload_digest
+
+#: Version tag carried by every trace's ``run_start`` event.  Bump on any
+#: field change; consumers must reject majors they do not understand.
+TRACE_SCHEMA = "repro-trace/1"
+
+#: The complete event vocabulary of ``repro-trace/1``.
+EVENT_KINDS = (
+    "run_start",
+    "phase_start",
+    "send",
+    "deliver",
+    "decide",
+    "run_end",
+)
+
+#: Scalars JSON can carry losslessly; anything else is ``repr``-ed.
+_JSON_SCALARS = (bool, int, float, str)
+
+
+@runtime_checkable
+class EventSink(Protocol):
+    """Anything that can receive the runner's trace events.
+
+    Implementations must treat :meth:`emit` as hot-path code: the runner
+    calls it once per sent message when tracing is on.  :meth:`close` is
+    called by whoever *opened* the sink (the CLI, a sweep worker) — the
+    runner never closes sinks it was handed.
+    """
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Receive one trace event (a flat JSON-able mapping)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release any underlying resources."""
+        ...
+
+
+class ListSink:
+    """An in-memory sink: events accumulate on :attr:`events`."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Append a copy of *event* (the runner may reuse its buffers)."""
+        self.events.append(dict(event))
+
+    def close(self) -> None:
+        """No resources to release."""
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """All collected events of one kind, in emission order."""
+        return [e for e in self.events if e.get("event") == kind]
+
+
+class JsonlTraceSink:
+    """Persist the event stream as JSON Lines (``repro-trace/1``).
+
+    One event per line, compact separators, sorted keys — so two traces of
+    identical runs are byte-identical (timings come from the runner's
+    injectable clock; inject a fake clock for full determinism).  Usable as
+    a context manager::
+
+        with JsonlTraceSink("run.jsonl") as sink:
+            run(algorithm, value, sinks=(sink,))
+    """
+
+    __slots__ = ("_handle", "_owns_handle", "path")
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self.path: Path | None = Path(target)
+            self._handle: IO[str] = open(self.path, "w", encoding="utf-8")
+            self._owns_handle = True
+        else:
+            self.path = None
+            self._handle = target
+            self._owns_handle = False
+
+    def emit(self, event: Mapping[str, Any]) -> None:
+        """Serialise one event as a compact, key-sorted JSON line."""
+        self._handle.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":"))
+        )
+        self._handle.write("\n")
+
+    def close(self) -> None:
+        """Close the file if this sink opened it (not a borrowed handle)."""
+        if self._owns_handle:
+            self._handle.close()
+        else:
+            self._handle.flush()
+
+    def __enter__(self) -> "JsonlTraceSink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def jsonable(value: Any) -> Any:
+    """Reduce *value* to something JSON can carry losslessly.
+
+    Scalars pass through; anything richer (tuples, signatures, frozen
+    dataclasses) is ``repr``-ed — traces record *what was decided/sent*,
+    not reconstructable objects (the digest identifies the payload).
+    """
+    if value is None or isinstance(value, _JSON_SCALARS):
+        return value
+    return repr(value)
+
+
+def safe_digest(payload: Any) -> str | None:
+    """:func:`~repro.core.message.payload_digest`, or ``None`` when the
+    payload is not canonicalisable (a fuzzing adversary may send anything).
+    """
+    try:
+        return payload_digest(payload)
+    except (CanonicalisationError, TypeError):
+        return None
+
+
+def read_events(path: str | Path) -> Iterable[dict[str, Any]]:
+    """Iterate the events of a JSONL trace file.
+
+    Raises:
+        ValueError: on a line that is not a JSON object.
+    """
+    with open(path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: not JSON: {error}") from error
+            if not isinstance(event, dict):
+                raise ValueError(f"{path}:{number}: event is not an object")
+            yield event

@@ -1,0 +1,210 @@
+"""Metrics export: Prometheus text exposition and bench-comparable JSON.
+
+Two render targets for one instrumented :class:`~repro.core.runner.RunResult`:
+
+* :func:`prometheus_metrics` — flat counter/gauge lines in the Prometheus
+  text exposition format (scrape-friendly, diff-friendly);
+* :func:`bench_json` — a ``repro-bench/1`` document whose single case is
+  the run itself, so ``scripts/bench_compare.py`` can diff a run's cost
+  point against any committed baseline exactly like a ``repro bench``
+  basket.
+
+:func:`write_metrics` picks the format from the file extension
+(``.json`` → bench JSON, anything else → Prometheus text), which is how
+``repro run --metrics-out`` decides what to write.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # break the cycle: core.runner imports repro.obs.*
+    from repro.core.runner import RunResult
+
+#: Metric name prefix for every exported Prometheus line.
+PROMETHEUS_PREFIX = "repro"
+
+
+def _escape_label(value: object) -> str:
+    """Escape one label value per the Prometheus text-format rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _line(name: str, value: object, **labels: object) -> str:
+    """One exposition line: ``name{labels} value``."""
+    rendered = ""
+    if labels:
+        inner = ",".join(
+            f'{key}="{_escape_label(val)}"' for key, val in labels.items()
+        )
+        rendered = "{" + inner + "}"
+    return f"{PROMETHEUS_PREFIX}_{name}{rendered} {value}"
+
+
+def prometheus_metrics(result: RunResult) -> str:
+    """Render *result* as Prometheus text exposition (trailing newline).
+
+    Counters cover the ledger (messages/signatures split by sender class,
+    per phase, per processor); gauges cover the phase counts and — when the
+    run was instrumented — the wall/CPU timings of
+    :class:`~repro.obs.telemetry.RunTelemetry`.
+    """
+    metrics = result.metrics
+    out: list[str] = []
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        """Emit the HELP/TYPE header for a metric family once."""
+        out.append(f"# HELP {PROMETHEUS_PREFIX}_{name} {help_text}")
+        out.append(f"# TYPE {PROMETHEUS_PREFIX}_{name} {kind}")
+
+    header("run_info", "gauge", "Static labels of the traced run")
+    out.append(
+        _line(
+            "run_info",
+            1,
+            algorithm=result.algorithm_name,
+            n=result.n,
+            t=result.t,
+            transmitter=result.transmitter,
+            faults=len(result.faulty),
+        )
+    )
+    header("messages_total", "counter", "Messages sent, by sender class")
+    out.append(_line("messages_total", metrics.messages_by_correct, sender="correct"))
+    out.append(_line("messages_total", metrics.messages_by_faulty, sender="faulty"))
+    header("signatures_total", "counter", "Signatures appended, by sender class")
+    out.append(
+        _line("signatures_total", metrics.signatures_by_correct, sender="correct")
+    )
+    out.append(
+        _line("signatures_total", metrics.signatures_by_faulty, sender="faulty")
+    )
+    header(
+        "unsigned_correct_messages_total",
+        "counter",
+        "Correct-sender messages carrying no signature (Theorem 1 assumption)",
+    )
+    out.append(
+        _line("unsigned_correct_messages_total", metrics.unsigned_correct_messages)
+    )
+    header("phase_messages_total", "counter", "Messages sent during each phase")
+    for phase in range(1, metrics.phases_configured + 1):
+        out.append(
+            _line(
+                "phase_messages_total",
+                metrics.messages_per_phase.get(phase, 0),
+                phase=phase,
+            )
+        )
+    header("phase_signatures_total", "counter", "Signatures appended during each phase")
+    for phase in range(1, metrics.phases_configured + 1):
+        out.append(
+            _line(
+                "phase_signatures_total",
+                metrics.signatures_per_phase.get(phase, 0),
+                phase=phase,
+            )
+        )
+    header("processor_sent_total", "counter", "Messages sent per processor")
+    for pid in range(result.n):
+        out.append(
+            _line(
+                "processor_sent_total",
+                metrics.sent_per_processor.get(pid, 0),
+                processor=pid,
+                role="faulty" if pid in result.faulty else "correct",
+            )
+        )
+    header("processor_received_total", "counter", "Messages received per processor")
+    for pid in range(result.n):
+        out.append(
+            _line(
+                "processor_received_total",
+                metrics.received_per_processor.get(pid, 0),
+                processor=pid,
+            )
+        )
+    header("last_active_phase", "gauge", "Highest phase with any traffic")
+    out.append(_line("last_active_phase", metrics.last_active_phase))
+    header("phases_configured", "gauge", "Phases the algorithm declared")
+    out.append(_line("phases_configured", metrics.phases_configured))
+
+    telemetry = result.telemetry
+    if telemetry is not None:
+        header("run_wall_seconds", "gauge", "Wall-clock duration of the run")
+        out.append(_line("run_wall_seconds", round(telemetry.wall_s, 9)))
+        header("run_cpu_seconds", "gauge", "Process CPU time of the run")
+        out.append(_line("run_cpu_seconds", round(telemetry.cpu_s, 9)))
+        header("phase_wall_seconds", "gauge", "Wall-clock duration per phase")
+        for timing in telemetry.per_phase:
+            out.append(
+                _line("phase_wall_seconds", round(timing.wall_s, 9), phase=timing.phase)
+            )
+        header(
+            "processor_handler_wall_seconds",
+            "gauge",
+            "Wall time inside each correct processor's on_phase handler",
+        )
+        for pid, seconds in sorted(telemetry.handler_wall_s.items()):
+            out.append(
+                _line(
+                    "processor_handler_wall_seconds",
+                    round(seconds, 9),
+                    processor=pid,
+                )
+            )
+    return "\n".join(out) + "\n"
+
+
+def bench_json(result: RunResult) -> dict[str, Any]:
+    """*result* as a one-case ``repro-bench/1`` document.
+
+    The case key is ``runner:<algorithm>`` — the same key shape ``repro
+    bench`` uses — so ``scripts/bench_compare.py`` can diff this run
+    against a committed baseline or against another exported run.
+    """
+    telemetry = result.telemetry
+    seconds = telemetry.wall_s if telemetry is not None else 0.0
+    messages = result.metrics.messages_by_correct
+    return {
+        "schema": "repro-bench/1",
+        "source": "repro run --metrics-out",
+        "workers": 1,
+        "repeat": 1,
+        "quick": False,
+        "cases": {
+            f"runner:{result.algorithm_name}": {
+                "kind": "runner",
+                "n": result.n,
+                "t": result.t,
+                "seconds": round(seconds, 6),
+                "messages": messages,
+                "messages_per_sec": round(messages / seconds, 1) if seconds else None,
+            }
+        },
+    }
+
+
+def write_metrics(result: RunResult, path: str | Path) -> str:
+    """Write *result*'s metrics to *path*; the extension picks the format.
+
+    ``.json`` gets the :func:`bench_json` document; everything else
+    (conventionally ``.prom`` or ``.txt``) gets :func:`prometheus_metrics`.
+    Returns the format written (``"json"`` or ``"prometheus"``).
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(bench_json(result), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return "json"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_metrics(result))
+    return "prometheus"

@@ -128,6 +128,30 @@ class TestFallbacksAndErrors:
         monkeypatch.setenv("REPRO_SWEEP_WORKERS", "0")
         assert default_workers() == 1
 
+    def test_trace_dir_writes_one_trace_per_scenario(self, tmp_path):
+        from repro.obs import summarize_trace
+
+        grid = e7_grid()
+        points = sweep_parallel(
+            grid, values=(0, 1), workers=1, trace_dir=str(tmp_path)
+        )
+        traces = sorted(tmp_path.glob("*.jsonl"))
+        assert len(traces) == len(points) == 6
+        summary = summarize_trace(traces[0])
+        assert summary.consistency_errors() == []
+
+    def test_trace_file_set_independent_of_worker_count(self, tmp_path):
+        grid = e7_grid()
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        sweep_parallel(grid, values=(1,), workers=1, trace_dir=str(serial_dir))
+        sweep_parallel(grid, values=(1,), workers=2, trace_dir=str(parallel_dir))
+        serial_names = sorted(p.name for p in serial_dir.glob("*.jsonl"))
+        parallel_names = sorted(p.name for p in parallel_dir.glob("*.jsonl"))
+        assert serial_names == parallel_names
+        for name in serial_names:
+            assert (serial_dir / name).read_bytes() != b""
+
     def test_fresh_algorithm_per_point(self):
         """Like sweep(): every measurement builds a fresh instance."""
         spec = ScenarioSpec(

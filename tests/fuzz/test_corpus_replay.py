@@ -11,7 +11,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.fuzz.corpus import CorpusEntry, load_entries, replay_entry
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    load_entries,
+    replay_entry,
+    save_entry,
+    save_trace,
+)
 
 pytestmark = pytest.mark.fuzz
 
@@ -44,6 +50,22 @@ def test_recorded_verdict_reproduces(item):
 def test_entry_round_trips_through_json(item):
     _, entry = item
     assert CorpusEntry.from_json_dict(entry.to_json_dict()) == entry
+
+
+def test_save_trace_writes_replay_trace_beside_entry(tmp_path):
+    from repro.obs import summarize_trace
+
+    _, entry = ENTRIES[0]
+    entry_path = save_entry(tmp_path, entry)
+    trace_path = save_trace(entry_path, entry)
+    assert trace_path.parent == entry_path.parent
+    assert trace_path.name == entry_path.stem + ".trace.jsonl"
+    summary = summarize_trace(trace_path)
+    assert summary.algorithm == entry.algorithm
+    assert summary.n == entry.n and summary.t == entry.t
+    # The trace suffix must not collide with the ``*.json`` corpus glob —
+    # load_entries still sees exactly one entry in the directory.
+    assert len(load_entries(tmp_path)) == 1
 
 
 @pytest.mark.parametrize("item", ENTRIES, ids=_entry_id)

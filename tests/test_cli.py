@@ -172,6 +172,75 @@ class TestLintCommand:
         assert rules_hit == {"BA001", "BA002", "BA003", "BA004", "BA005"}
 
 
+class TestRunObservability:
+    def test_trace_and_metrics_out(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.prom"
+        code = main(
+            ["run", "--algorithm", "algorithm-1", "--n", "7", "--t", "3",
+             "--trace-out", str(trace), "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out and "metrics written" in out
+        first = json.loads(trace.read_text(encoding="utf-8").splitlines()[0])
+        assert first["schema"] == "repro-trace/1"
+        assert metrics.read_text(encoding="utf-8").startswith("# HELP repro_")
+
+    def test_metrics_out_json_is_bench_schema(self, capsys, tmp_path):
+        metrics = tmp_path / "m.json"
+        code = main(
+            ["run", "--algorithm", "dolev-strong", "--n", "5", "--t", "1",
+             "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        document = json.loads(metrics.read_text(encoding="utf-8"))
+        assert document["schema"] == "repro-bench/1"
+        assert "runner:dolev-strong" in document["cases"]
+
+    def test_inspect_matches_run_ledger(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["run", "--algorithm", "algorithm-1", "--n", "7", "--t", "3",
+             "--trace-out", str(trace)]
+        ) == 0
+        run_out = capsys.readouterr().out
+        assert main(["inspect", str(trace)]) == 0
+        inspect_out = capsys.readouterr().out
+        assert "consistency: ok" in inspect_out
+        # Same totals in both reports.
+        assert "messages (correct)   : 24" in run_out
+        assert "messages 24 correct" in inspect_out
+
+    def test_inspect_json_output(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        main(["run", "--algorithm", "dolev-strong", "--n", "4", "--t", "1",
+              "--trace-out", str(trace)])
+        capsys.readouterr()
+        assert main(["inspect", str(trace), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-trace/1"
+        assert document["consistency_errors"] == []
+
+    def test_inspect_missing_file_is_an_error(self, capsys):
+        assert main(["inspect", "/no/such/trace.jsonl"]) == 2
+        assert "repro inspect" in capsys.readouterr().err
+
+    def test_inspect_rejects_non_trace_json(self, capsys, tmp_path):
+        path = tmp_path / "not-a-trace.jsonl"
+        path.write_text('{"event":"send","phase":1}\n', encoding="utf-8")
+        assert main(["inspect", str(path)]) == 2
+        assert "run_start" in capsys.readouterr().err
+
+    def test_algorithm_name_aliases(self, capsys):
+        # The canonical name is algorithm-1; common alternate spellings work.
+        for alias in ("algorithm1", "ALGORITHM-1", "algorithm_1"):
+            assert main(
+                ["run", "--algorithm", alias, "--n", "5", "--t", "2"]
+            ) == 0
+            assert "algorithm-1" in capsys.readouterr().out
+
+
 class TestBenchCommand:
     def test_quick_bench_writes_schema_json(self, capsys, tmp_path):
         output = tmp_path / "bench.json"
