@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint check bench bench-compare benchmarks fuzz fuzz-smoke docs-check
+.PHONY: test lint lint-protocol lint-baseline check bench bench-compare benchmarks fuzz fuzz-smoke docs-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -9,6 +9,17 @@ test:
 # plus the perf smoke against BENCH_runner.json when it exists.
 lint:
 	./scripts/check.sh
+
+# Just the whole-program protocol analyzer (BA001-BA009), gated on the
+# committed baseline — the same invocation scripts/check.sh runs.
+lint-protocol:
+	PYTHONPATH=src $(PYTHON) -m repro lint --baseline lint_baseline.json src/repro
+
+# Regenerate lint_baseline.json from the current tree (reasons on
+# existing entries are preserved).  Review the diff before committing.
+lint-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro lint --baseline lint_baseline.json \
+		--write-baseline src/repro
 
 check: lint test
 

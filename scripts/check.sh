@@ -10,7 +10,15 @@ cd "$(dirname "$0")/.."
 status=0
 
 echo "== repro lint =="
-PYTHONPATH=src python -m repro lint src/repro || status=1
+# SARIF + baseline gate: fail on any finding not grandfathered in
+# lint_baseline.json; the SARIF output itself goes to /dev/null here
+# (CI uploads capture it separately), so rerun in text mode on failure
+# for a human-readable diagnosis.
+if ! PYTHONPATH=src python -m repro lint --format=sarif \
+        --baseline lint_baseline.json src/repro >/dev/null; then
+    PYTHONPATH=src python -m repro lint --baseline lint_baseline.json src/repro || true
+    status=1
+fi
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff =="

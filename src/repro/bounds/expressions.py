@@ -35,6 +35,7 @@ __all__ = [
     "UNSTATED",
     "SENTINELS",
     "PARAMETER_NAMES",
+    "SAMPLE_GRID",
     "BoundExpressionError",
     "formula_namespace",
     "validate_bound_expression",
@@ -53,6 +54,15 @@ SENTINELS: Final[frozenset[str]] = frozenset({DERIVED, UNSTATED})
 #: :meth:`~repro.core.protocol.AgreementAlgorithm.bound_parameters`).
 PARAMETER_NAMES: Final[frozenset[str]] = frozenset(
     {"n", "t", "s", "m", "alpha", "width"}
+)
+
+#: Sample parameter points at which declared bounds are compared against
+#: canonical forms (lint rule BA002) and against static fan-out estimates
+#: (BA006/BA007).  ``n > 3t`` keeps every formula in its domain; ``s = t``
+#: and ``m = t + 1`` match how the algorithms instantiate those knobs.
+SAMPLE_GRID: Final[tuple[Mapping[str, int], ...]] = tuple(
+    {"n": 3 * t + 2, "t": t, "s": t, "m": t + 1, "alpha": t + 1, "width": t + 1}
+    for t in (1, 2, 3, 4)
 )
 
 _ALLOWED_OPS = (

@@ -267,12 +267,29 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """`repro lint`: run the BA001–BA005 protocol linter."""
+    """`repro lint`: run the BA001–BA009 protocol analyzer."""
     from pathlib import Path
 
     import repro
-    from repro.lint import lint_paths, render_json, render_text
+    from repro.lint import (
+        BaselineError,
+        apply_baseline,
+        explain_rule,
+        lint_paths,
+        load_baseline,
+        render_json,
+        render_sarif,
+        render_text,
+        write_baseline,
+    )
 
+    if args.explain:
+        explanation = explain_rule(args.explain)
+        if explanation is None:
+            print(f"repro lint: unknown rule {args.explain!r}", file=sys.stderr)
+            return 2
+        print(explanation)
+        return 0
     paths = args.paths or [str(Path(repro.__file__).parent)]
     missing = [p for p in paths if not Path(p).exists()]
     if missing:
@@ -280,11 +297,59 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"repro lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
     report = lint_paths(paths)
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "repro lint: --write-baseline requires --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        target = Path(args.baseline)
+        previous = load_baseline(target) if target.exists() else []
+        count = write_baseline(report, target, previous)
+        noun = "entry" if count == 1 else "entries"
+        print(f"wrote {count} baseline {noun} to {target}")
+        return 0
+
+    baselined: list = []
+    stale: list = []
+    exit_code = report.exit_code
+    if args.baseline:
+        try:
+            entries = load_baseline(Path(args.baseline))
+        except BaselineError as error:
+            print(f"repro lint: {error}", file=sys.stderr)
+            return 2
+        diff = apply_baseline(report, entries)
+        baselined, stale = diff.matched, diff.stale
+        exit_code = diff.exit_code
+        # The rendered report shows only *new* findings (the gate);
+        # grandfathered debt stays visible via SARIF suppressions and
+        # the summary counts.
+        visible = [f for f in report.findings if f not in set(baselined)]
+        if args.format != "sarif":
+            report = type(report)(
+                findings=visible,
+                files_checked=report.files_checked,
+                rules_run=report.rules_run,
+            )
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report, baselined))
     else:
         print(render_text(report))
-    return report.exit_code
+        if baselined:
+            noun = "finding" if len(baselined) == 1 else "findings"
+            print(f"{len(baselined)} baselined {noun} not shown")
+    for entry in stale:
+        print(
+            f"repro lint: stale baseline entry ({entry.rule} {entry.path}): "
+            f"no longer found — regenerate with --write-baseline",
+            file=sys.stderr,
+        )
+    return exit_code
 
 
 #: The fixed perf basket: one pinned scenario per registered algorithm.
@@ -641,7 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="static verification of the protocol invariants (BA001-BA005)",
+        help="static verification of the protocol invariants (BA001-BA009)",
     )
     p_lint.add_argument(
         "paths",
@@ -650,9 +715,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="diff findings against a committed baseline; only new ones fail",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the --baseline file from the current findings",
+    )
+    p_lint.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print the rationale for one rule id (e.g. --explain BA006)",
     )
     p_lint.set_defaults(func=cmd_lint)
 

@@ -20,10 +20,31 @@ analysis"):
   never mutated (tamper-proof histories).
 * **BA005** — no bare dict-order fan-out in protocol hot paths without a
   sorted key.
+* **BA006** — a processor's statically-resolvable per-phase send fan-out
+  must fit the declared whole-run ``message_bound``.
+* **BA007** — same accounting for signing sites vs. ``signature_bound``.
+* **BA008** — unverified relayed payloads (taint from inbox reads) must
+  not reach decision state in authenticated algorithms.
+* **BA009** — no shared-state mutation reachable from the parallel sweep
+  worker entry points.
+* **BA100** — (notice) ``# noqa: BA00x`` comments that suppress nothing.
 
-Run it as ``repro lint [paths] [--format=text|json]``.
+BA006-BA009 are whole-program analyses built on the protocol call graph
+in :mod:`repro.lint.analysis`.
+
+Run it as ``repro lint [paths] [--format=text|json|sarif]``; see
+``repro lint --explain BA006`` for any rule's rationale, and
+``--baseline lint_baseline.json`` for the grandfathering CI gate.
 """
 
+from repro.lint.baseline import (
+    BaselineEntry,
+    BaselineError,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.lint.engine import (
     Finding,
     LintEngine,
@@ -35,9 +56,12 @@ from repro.lint.engine import (
     lint_paths,
     register,
 )
-from repro.lint.report import render_json, render_text
+from repro.lint.report import explain_rule, render_json, render_sarif, render_text
 
 __all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "BaselineResult",
     "Finding",
     "LintEngine",
     "LintReport",
@@ -45,8 +69,13 @@ __all__ = [
     "Rule",
     "SourceFile",
     "all_rules",
+    "apply_baseline",
+    "explain_rule",
     "lint_paths",
+    "load_baseline",
     "register",
     "render_json",
+    "render_sarif",
     "render_text",
+    "write_baseline",
 ]

@@ -1,0 +1,248 @@
+"""A name-resolved call graph over every file the engine parsed.
+
+The graph is deliberately modest: it resolves the call shapes that
+actually occur in protocol code — ``self.method()`` through the static
+base chain, ``ClassName.method(self, ...)`` delegation, bare module-level
+function calls (same module first, then a project-wide name match), and
+``ClassName(...)`` instantiations — and records every *unresolved* callee
+name so analyses can treat attribute calls like ``chain.verify()`` as
+semantic markers without knowing the receiver's type.
+
+Built once per lint run and memoized on ``ProjectIndex.caches``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lint.engine import ProjectIndex, SourceFile
+
+_CACHE_KEY = "protocol-call-graph"
+
+#: The root class of the processor hierarchy (``core/protocol.py``).
+PROCESSOR_BASE = "Processor"
+
+
+@dataclass(slots=True)
+class FunctionRecord:
+    """One function or method definition, addressable by qualified name."""
+
+    qname: str
+    name: str
+    class_name: str | None
+    file: SourceFile
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(slots=True)
+class CallSummary:
+    """What one function calls: resolved edges plus raw callee names."""
+
+    #: qnames of statically-resolved callees.
+    resolved: set[str] = field(default_factory=set)
+    #: every callee name seen (attribute or bare), resolved or not.
+    names: set[str] = field(default_factory=set)
+    #: class names constructed via a direct ``ClassName(...)`` call.
+    instantiated: set[str] = field(default_factory=set)
+
+
+@dataclass(slots=True)
+class ProtocolGraph:
+    """Functions, call edges, and the processor-class hierarchy."""
+
+    project: ProjectIndex
+    functions: dict[str, FunctionRecord] = field(default_factory=dict)
+    calls: dict[str, CallSummary] = field(default_factory=dict)
+    #: class name -> methods defined in its own body (name -> qname).
+    own_methods: dict[str, dict[str, str]] = field(default_factory=dict)
+    class_nodes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    class_files: dict[str, SourceFile] = field(default_factory=dict)
+    #: module display -> module-level functions (name -> qname).
+    module_functions: dict[str, dict[str, str]] = field(default_factory=dict)
+    #: bare name -> every module-level function qname with that name.
+    by_name: dict[str, list[str]] = field(default_factory=dict)
+    #: transitive ``Processor`` subclasses (the root itself excluded).
+    processor_classes: set[str] = field(default_factory=set)
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_method(self, class_name: str, method: str) -> str | None:
+        """Find *method* on *class_name* or its statically-known bases."""
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            qname = self.own_methods.get(current, {}).get(method)
+            if qname is not None:
+                return qname
+            record = self.project.classes.get(current)
+            if record is not None:
+                queue.extend(record.bases)
+        return None
+
+    def resolved_methods(self, class_name: str) -> dict[str, str]:
+        """Every method visible on *class_name* (nearest definition wins)."""
+        methods: dict[str, str] = {}
+        seen: set[str] = set()
+        queue = [class_name]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            for name, qname in self.own_methods.get(current, {}).items():
+                methods.setdefault(name, qname)
+            record = self.project.classes.get(current)
+            if record is not None:
+                queue.extend(record.bases)
+        return methods
+
+    # -- closures ------------------------------------------------------
+
+    def reachable_from(self, seeds: Iterable[str]) -> set[str]:
+        """Transitive closure of the resolved call edges."""
+        reached: set[str] = set()
+        queue = [q for q in seeds if q in self.functions]
+        while queue:
+            current = queue.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            summary = self.calls.get(current)
+            if summary is not None:
+                queue.extend(q for q in summary.resolved if q not in reached)
+        return reached
+
+    def functions_calling(self, markers: frozenset[str]) -> set[str]:
+        """Functions that (transitively) call anything named in *markers*.
+
+        Used for the "verifying" closure: a method that somewhere invokes
+        ``...verify(...)`` or ``...is_input_edge(...)`` — directly or via
+        a helper — counts as a verification step.
+        """
+        marked = {
+            qname
+            for qname, summary in self.calls.items()
+            if summary.names & markers
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qname, summary in self.calls.items():
+                if qname in marked:
+                    continue
+                if summary.resolved & marked:
+                    marked.add(qname)
+                    changed = True
+        return marked
+
+
+def _function_defs(
+    file: SourceFile,
+) -> Iterable[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+    """Every function definition in *file* with its owning class name."""
+
+    def visit(node: ast.AST, class_name: str | None) -> Iterable:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, class_name
+                # nested defs stay attributed to the same class scope.
+                yield from visit(child, class_name)
+            else:
+                yield from visit(child, class_name)
+
+    yield from visit(file.tree, None)
+
+
+def _extract_calls(graph: ProtocolGraph, record: FunctionRecord) -> CallSummary:
+    summary = CallSummary()
+    module = graph.module_functions.get(record.file.display, {})
+    for node in ast.walk(record.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            summary.names.add(func.id)
+            if func.id in graph.class_nodes:
+                summary.instantiated.add(func.id)
+            elif func.id in module:
+                summary.resolved.add(module[func.id])
+            else:
+                summary.resolved.update(graph.by_name.get(func.id, ()))
+        elif isinstance(func, ast.Attribute):
+            summary.names.add(func.attr)
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "self":
+                if record.class_name is not None:
+                    resolved = graph.resolve_method(record.class_name, func.attr)
+                    if resolved is not None:
+                        summary.resolved.add(resolved)
+            elif isinstance(value, ast.Name) and value.id in graph.class_nodes:
+                # ClassName.method(self, ...) delegation.
+                resolved = graph.resolve_method(value.id, func.attr)
+                if resolved is not None:
+                    summary.resolved.add(resolved)
+    return summary
+
+
+def build_graph(project: ProjectIndex) -> ProtocolGraph:
+    """Build the call graph over ``project.files`` (no memoization)."""
+    graph = ProtocolGraph(project=project)
+    for file in project.files:
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef):
+                graph.class_nodes[node.name] = node
+                graph.class_files[node.name] = file
+        for node, class_name in _function_defs(file):
+            scope = f"{class_name}." if class_name else ""
+            qname = f"{file.display}::{scope}{node.name}"
+            record = FunctionRecord(
+                qname=qname,
+                name=node.name,
+                class_name=class_name,
+                file=file,
+                node=node,
+            )
+            graph.functions[qname] = record
+            if class_name is None:
+                graph.module_functions.setdefault(file.display, {})[
+                    node.name
+                ] = qname
+                graph.by_name.setdefault(node.name, []).append(qname)
+            else:
+                graph.own_methods.setdefault(class_name, {})[node.name] = qname
+    # Fixpoint: transitive Processor subclasses, mirroring how the engine
+    # finds algorithm classes.
+    processors: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, record in project.classes.items():
+            if name in processors:
+                continue
+            if any(
+                base == PROCESSOR_BASE or base in processors
+                for base in record.bases
+            ):
+                processors.add(name)
+                changed = True
+    graph.processor_classes = processors
+    for record in graph.functions.values():
+        graph.calls[record.qname] = _extract_calls(graph, record)
+    return graph
+
+
+def protocol_graph(project: ProjectIndex) -> ProtocolGraph:
+    """The memoized per-run call graph."""
+    cached = project.caches.get(_CACHE_KEY)
+    if not isinstance(cached, ProtocolGraph):
+        cached = build_graph(project)
+        project.caches[_CACHE_KEY] = cached
+    return cached

@@ -1,0 +1,255 @@
+"""Symbolic per-invocation fan-out estimates in the bound language.
+
+The estimator walks a method body and turns each *site* (a send tuple, a
+signing call — the caller supplies the site detector) into a symbolic
+multiplicity: the product of the sizes of every enclosing loop and
+comprehension, expressed as a string of the bound-expression language
+(:mod:`repro.bounds.expressions`) over ``n``, ``t``, ``s``, ``m`` …
+
+The estimate is deliberately a *sound-ish lower witness*, not a complete
+count: any site under a loop whose range cannot be resolved statically
+(``for q in self.relays``) is skipped rather than guessed, and a finding
+is only justified when the sum of the *resolvable* sites alone already
+exceeds the declared whole-run budget at every sampled parameter point.
+What the estimator refuses to guess it reports in
+``FanoutEstimate.skipped`` so rules can mention the omission.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.bounds.expressions import (
+    PARAMETER_NAMES,
+    BoundExpressionError,
+    evaluate_bound,
+)
+from repro.lint.analysis.callgraph import FunctionRecord
+
+#: A site detector: yields the AST nodes of interest inside one method.
+SiteFinder = Callable[[FunctionRecord], Iterator[ast.AST]]
+
+#: Size of the inbox parameter: at most one enqueued sender per peer in a
+#: canonical run (the adversary can exceed this, but then *it* pays).
+INBOX_SIZE = "n - 1"
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+_PASSTHROUGH_CALLS = frozenset(
+    {"sorted", "list", "tuple", "set", "frozenset", "reversed"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FanoutEstimate:
+    """Sum of resolvable site multiplicities for one entry point."""
+
+    #: bound-language expression, or ``None`` when no site resolved.
+    expr: str | None
+    #: number of sites that contributed to ``expr``.
+    sites: int
+    #: sites skipped because an enclosing range was not resolvable.
+    skipped: int
+
+
+def scalar_expr(node: ast.expr) -> str | None:
+    """*node* as a bound-language scalar (``self.t + 1`` -> ``"(t) + (1)"``)."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return str(node.value)
+    if isinstance(node, ast.Name) and node.id in PARAMETER_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in PARAMETER_NAMES:
+        # self.t / ctx.t / self.ctx.t all denote the protocol parameter.
+        value = node.value
+        if isinstance(value, ast.Name) and value.id in {"self", "ctx"}:
+            return node.attr
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "ctx"
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+        ):
+            return node.attr
+        return None
+    if isinstance(node, ast.BinOp):
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            return None
+        left = scalar_expr(node.left)
+        right = scalar_expr(node.right)
+        if left is None or right is None:
+            return None
+        return f"({left}) {op} ({right})"
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        operand = scalar_expr(node.operand)
+        return None if operand is None else f"0 - ({operand})"
+    return None
+
+
+_BIN_OPS: dict[type, str] = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.FloorDiv: "//",
+}
+
+
+def iterable_size(node: ast.expr, env: Mapping[str, str]) -> str | None:
+    """Symbolic element count of an iterable expression, if resolvable."""
+    if isinstance(node, ast.Name):
+        return env.get(node.id)
+    if isinstance(node, _COMPREHENSIONS):
+        return _comprehension_size(node, env)
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    if name == "others" and not node.args:
+        return "n - 1"
+    if name == "range":
+        args = node.args
+        if len(args) == 1:
+            return scalar_expr(args[0])
+        if len(args) == 2:
+            start = scalar_expr(args[0])
+            stop = scalar_expr(args[1])
+            if start is None or stop is None:
+                return None
+            return f"({stop}) - ({start})"
+        return None
+    if name in _PASSTHROUGH_CALLS and node.args:
+        return iterable_size(node.args[0], env)
+    return None
+
+
+def _comprehension_size(
+    node: ast.ListComp | ast.SetComp | ast.GeneratorExp,
+    env: Mapping[str, str],
+) -> str | None:
+    sizes: list[str] = []
+    for generator in node.generators:
+        if generator.ifs:
+            # A filter makes the count an upper bound, and the estimator
+            # only trusts itself when it has a lower witness — give up.
+            return None
+        size = iterable_size(generator.iter, env)
+        if size is None:
+            return None
+        sizes.append(size)
+    if not sizes:
+        return None
+    return " * ".join(f"({size})" for size in sizes)
+
+
+def local_sizes(method: ast.AST) -> dict[str, str]:
+    """Sizes of local names assigned statically-resolvable iterables.
+
+    Seeds ``inbox`` (the ``on_phase`` parameter) with :data:`INBOX_SIZE`.
+    First resolvable assignment wins — good enough for the
+    branch-then-iterate shape protocol code uses.
+    """
+    env: dict[str, str] = {"inbox": INBOX_SIZE}
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                size = iterable_size(node.value, env)
+                if size is not None:
+                    env.setdefault(target.id, size)
+    return env
+
+
+def site_multiplicity(
+    record: FunctionRecord,
+    site: ast.AST,
+    env: Mapping[str, str],
+) -> str | None:
+    """Product of enclosing loop/comprehension sizes, or ``None``.
+
+    ``None`` means an enclosing iteration could not be resolved (or the
+    site sits under a ``while`` loop / nested function) and the site must
+    be skipped rather than guessed at.
+    """
+    factors: list[str] = []
+    parents = record.file.parents
+    previous: ast.AST = site
+    current = parents.get(site)
+    while current is not None and current is not record.node:
+        if isinstance(current, (ast.For, ast.AsyncFor)):
+            if previous is not current.iter:
+                size = iterable_size(current.iter, env)
+                if size is None:
+                    return None
+                factors.append(size)
+        elif isinstance(current, ast.While):
+            return None
+        elif isinstance(current, _COMPREHENSIONS):
+            if previous is current.elt:
+                size = _comprehension_size(current, env)
+                if size is None:
+                    return None
+                factors.append(size)
+        elif isinstance(current, ast.DictComp):
+            return None
+        elif isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return None
+        previous, current = current, parents.get(current)
+    if current is None:
+        return None
+    if not factors:
+        return "1"
+    return " * ".join(f"({factor})" for factor in factors)
+
+
+def accumulate_fanout(
+    methods: Iterable[FunctionRecord],
+    site_finder: SiteFinder,
+) -> FanoutEstimate:
+    """Sum the site multiplicities across *methods* (one invocation each)."""
+    terms: list[str] = []
+    skipped = 0
+    for record in methods:
+        env = local_sizes(record.node)
+        for site in site_finder(record):
+            multiplicity = site_multiplicity(record, site, env)
+            if multiplicity is None:
+                skipped += 1
+            else:
+                terms.append(f"({multiplicity})")
+    if not terms:
+        return FanoutEstimate(expr=None, sites=0, skipped=skipped)
+    return FanoutEstimate(
+        expr=" + ".join(terms), sites=len(terms), skipped=skipped
+    )
+
+
+def exceeds_everywhere(
+    static_expr: str,
+    declared_expr: str,
+    grid: Iterable[Mapping[str, int]],
+) -> tuple[Mapping[str, int], int, int] | None:
+    """Check ``static > declared`` at *every* grid point.
+
+    Returns ``(point, static_value, declared_value)`` for the most extreme
+    point when the static estimate strictly exceeds the declared bound at
+    all of them — consistent exceedance is what separates a structural
+    budget violation from a borderline parameter choice.  Returns ``None``
+    (no finding) if any point reconciles or any evaluation fails.
+    """
+    worst: tuple[Mapping[str, int], int, int] | None = None
+    for point in grid:
+        try:
+            static_value = evaluate_bound(static_expr, point)
+            declared_value = evaluate_bound(declared_expr, point)
+        except BoundExpressionError:
+            return None
+        if static_value <= declared_value:
+            return None
+        if worst is None or (static_value - declared_value) > (
+            worst[1] - worst[2]
+        ):
+            worst = (point, static_value, declared_value)
+    return worst

@@ -16,6 +16,20 @@ ORDER_INSENSITIVE_CALLS = frozenset(
 _SET_TYPE_NAMES = frozenset({"set", "frozenset", "Set", "FrozenSet", "AbstractSet"})
 
 
+def constant_str(node: ast.expr | None) -> str | None:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def constant_bool(node: ast.expr | None) -> bool | None:
+    """The value of a bool-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return node.value
+    return None
+
+
 def call_name(node: ast.expr) -> str | None:
     """The bare callable name of a ``Call`` node (``f(...)`` or ``x.f(...)``)."""
     if not isinstance(node, ast.Call):
@@ -76,7 +90,12 @@ def set_valued_self_attributes(class_node: ast.ClassDef) -> set[str]:
 
 
 def set_valued_locals(function_node: ast.AST) -> set[str]:
-    """Local variable names assigned set-producing values in a function."""
+    """Local variable names assigned set-producing values in a function.
+
+    Covers plain assignments, annotated assignments, walrus targets
+    (``(x := set())``) and augmented assignments whose right-hand side is
+    set-producing (``x |= {…}`` implies ``x`` already holds a set).
+    """
     names: set[str] = set()
     for node in ast.walk(function_node):
         if isinstance(node, ast.Assign) and is_set_producing(node.value):
@@ -87,6 +106,12 @@ def set_valued_locals(function_node: ast.AST) -> set[str]:
             if (node.value is not None and is_set_producing(node.value)) or (
                 annotation_is_set(node.annotation)
             ):
+                names.add(node.target.id)
+        elif isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            if is_set_producing(node.value):
+                names.add(node.target.id)
+        elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            if is_set_producing(node.value):
                 names.add(node.target.id)
     return names
 

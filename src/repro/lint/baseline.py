@@ -1,0 +1,168 @@
+"""Grandfathered lint findings: the ``--baseline`` mechanism.
+
+A baseline file records the findings a tree is *known* to have, so CI can
+fail on anything **new** while tracked debt stays visible instead of
+being silenced at the source.  Entries match findings by fingerprint —
+``(rule, canonical path, message)`` — deliberately ignoring line numbers,
+so unrelated edits above a grandfathered finding do not break the gate.
+
+Paths are canonicalized to the package-relative form (everything from the
+last ``repro`` path component on), which makes the same baseline file
+work whether the tree is linted as ``src/repro`` or as an installed
+package.  Each entry may carry a free-form ``reason`` explaining why the
+finding is tolerated; ``write_baseline`` preserves reasons across
+regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Sequence
+
+from repro.lint.engine import Finding, LintReport
+
+#: Schema tag written to (and required of) every baseline file.
+BASELINE_SCHEMA = "repro-lint-baseline/1"
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, malformed, or has the wrong schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass(slots=True)
+class BaselineResult:
+    """A report diffed against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    matched: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def canonical_path(path: str) -> str:
+    """Package-relative posix path: from the last ``repro`` component on."""
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+def fingerprint(finding: Finding) -> tuple[str, str, str]:
+    return (finding.rule, canonical_path(finding.path), finding.message)
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse a baseline file, validating the schema tag."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    if not isinstance(payload, dict) or payload.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"{path} is not a {BASELINE_SCHEMA!r} baseline file"
+        )
+    entries: list[BaselineEntry] = []
+    raw_entries = payload.get("findings", [])
+    if not isinstance(raw_entries, list):
+        raise BaselineError(f"{path}: 'findings' must be a list")
+    for raw in raw_entries:
+        if not isinstance(raw, dict):
+            raise BaselineError(f"{path}: baseline entries must be objects")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    reason=str(raw.get("reason", "")),
+                )
+            )
+        except KeyError as error:
+            raise BaselineError(
+                f"{path}: baseline entry missing key {error}"
+            ) from error
+    return entries
+
+
+def apply_baseline(
+    report: LintReport, entries: Sequence[BaselineEntry]
+) -> BaselineResult:
+    """Split the report's findings into new vs. grandfathered.
+
+    Matching is counted: two identical findings need two baseline
+    entries, so a regression that *duplicates* known debt still fails.
+    """
+    budget = Counter(entry.fingerprint for entry in entries)
+    result = BaselineResult()
+    for finding in report.findings:
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.matched.append(finding)
+        else:
+            result.new.append(finding)
+    leftovers = +budget
+    if leftovers:
+        seen: Counter[tuple[str, str, str]] = Counter()
+        for entry in entries:
+            key = entry.fingerprint
+            if seen[key] < leftovers.get(key, 0):
+                seen[key] += 1
+                result.stale.append(entry)
+    return result
+
+
+def write_baseline(
+    report: LintReport,
+    path: Path,
+    previous: Iterable[BaselineEntry] = (),
+) -> int:
+    """Write the report's findings as the new baseline.
+
+    Reasons from *previous* entries are carried over by fingerprint.
+    Returns the number of entries written.
+    """
+    reasons: dict[tuple[str, str, str], str] = {}
+    for entry in previous:
+        if entry.reason:
+            reasons.setdefault(entry.fingerprint, entry.reason)
+    entries = []
+    for finding in sorted(report.findings):
+        key = fingerprint(finding)
+        entry = {
+            "rule": key[0],
+            "path": key[1],
+            "message": key[2],
+        }
+        reason = reasons.get(key, "")
+        if reason:
+            entry["reason"] = reason
+        entries.append(entry)
+    payload = {"schema": BASELINE_SCHEMA, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -20,10 +20,17 @@ from typing import ClassVar, Iterable, Iterator, Sequence
 #: Rule id used for files that do not parse at all.
 PARSE_RULE_ID = "BA000"
 
+#: Rule id for ``# noqa: BA00x`` comments that suppress nothing.
+UNUSED_SUPPRESSION_RULE_ID = "BA100"
+
 _NOQA_PATTERN = re.compile(
     r"#\s*noqa(?::\s*(?P<codes>[A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*))?",
     re.IGNORECASE,
 )
+
+#: Suppression codes owned by this linter; foreign codes (``F401`` …) are
+#: left alone by the unused-suppression check.
+_OWN_CODE_PATTERN = re.compile(r"^BA\d+$")
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -35,6 +42,7 @@ class Finding:
     column: int
     rule: str
     message: str
+    severity: str = "error"
 
     @property
     def location(self) -> str:
@@ -47,7 +55,17 @@ class Finding:
             "line": self.line,
             "column": self.column,
             "message": self.message,
+            "severity": self.severity,
         }
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One ``# noqa`` comment: the codes it names and where it starts."""
+
+    #: Normalized (upper-case) rule ids, or ``None`` for a blanket ``# noqa``.
+    codes: frozenset[str] | None
+    column: int
 
 
 @dataclass(slots=True)
@@ -58,8 +76,8 @@ class SourceFile:
     display: str
     source: str
     tree: ast.Module
-    #: line -> suppressed rule ids (``None`` means every rule).
-    suppressions: dict[int, frozenset[str] | None]
+    #: line -> the suppression comment found on that line.
+    suppressions: dict[int, Suppression]
     #: child AST node -> parent, for enclosing-context checks.
     parents: dict[ast.AST, ast.AST]
 
@@ -91,10 +109,12 @@ class SourceFile:
         )
 
     def suppressed(self, finding: Finding) -> bool:
-        if finding.line not in self.suppressions:
+        entry = self.suppressions.get(finding.line)
+        if entry is None:
             return False
-        codes = self.suppressions[finding.line]
-        return codes is None or finding.rule in codes
+        # Codes are normalized to upper case on both sides so a lower-case
+        # suppression code (ba003) works the same as its canonical form.
+        return entry.codes is None or finding.rule.upper() in entry.codes
 
 
 @dataclass(frozen=True, slots=True)
@@ -117,6 +137,11 @@ class ProjectIndex:
 
     classes: dict[str, ClassRecord] = field(default_factory=dict)
     algorithm_classes: dict[str, ClassRecord] = field(default_factory=dict)
+    #: Every parsed file of the run, for whole-program analyses.
+    files: list[SourceFile] = field(default_factory=list)
+    #: Memoized per-run artifacts (e.g. the protocol call graph) keyed by
+    #: analysis name, so expensive whole-program passes build them once.
+    caches: dict[str, object] = field(default_factory=dict)
 
     def resolve_class_attribute(
         self, record: ClassRecord, attribute: str
@@ -199,19 +224,19 @@ def _collect_files(paths: Sequence[Path | str]) -> list[tuple[Path, str]]:
     return sorted(collected.items(), key=lambda item: item[1])
 
 
-def _scan_suppressions(source: str) -> dict[int, frozenset[str] | None]:
-    suppressions: dict[int, frozenset[str] | None] = {}
+def _scan_suppressions(source: str) -> dict[int, Suppression]:
+    suppressions: dict[int, Suppression] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _NOQA_PATTERN.search(line)
         if not match:
             continue
         codes = match.group("codes")
-        if codes is None:
-            suppressions[lineno] = None
-        else:
-            suppressions[lineno] = frozenset(
-                code.strip().upper() for code in codes.split(",")
-            )
+        parsed = (
+            None
+            if codes is None
+            else frozenset(code.strip().upper() for code in codes.split(","))
+        )
+        suppressions[lineno] = Suppression(codes=parsed, column=match.start() + 1)
     return suppressions
 
 
@@ -319,18 +344,63 @@ class LintEngine:
                 )
             )
         project = _build_index(sources)
+        project.files = list(sources)
+        ran = frozenset(rule.rule_id.upper() for rule in self.rules)
         for file in sources:
+            used: dict[int, set[str]] = {}
             for rule in self.rules:
                 if not rule.applies(file):
                     continue
                 for finding in rule.check(file, project):
-                    if not file.suppressed(finding):
+                    if file.suppressed(finding):
+                        used.setdefault(finding.line, set()).add(
+                            finding.rule.upper()
+                        )
+                    else:
                         findings.append(finding)
+            findings.extend(
+                notice
+                for notice in self._unused_suppressions(file, used, ran)
+                if not file.suppressed(notice)
+            )
         return LintReport(
             findings=sorted(findings),
             files_checked=len(sources),
             rules_run=sorted(rule.rule_id for rule in self.rules),
         )
+
+    def _unused_suppressions(
+        self,
+        file: SourceFile,
+        used: dict[int, set[str]],
+        ran: frozenset[str],
+    ) -> Iterator[Finding]:
+        """BA100 notices for ``# noqa: BA00x`` comments that suppressed
+        nothing.  Blanket ``# noqa`` comments and foreign codes (``F401``,
+        ``S307`` …) are left alone, and a code only counts as stale when
+        its rule actually ran."""
+        for line, entry in sorted(file.suppressions.items()):
+            if entry.codes is None:
+                continue
+            stale = sorted(
+                code
+                for code in entry.codes
+                if _OWN_CODE_PATTERN.match(code)
+                and code in ran
+                and code not in used.get(line, set())
+            )
+            if stale:
+                yield Finding(
+                    path=file.display,
+                    line=line,
+                    column=entry.column,
+                    rule=UNUSED_SUPPRESSION_RULE_ID,
+                    message=(
+                        f"unused suppression: no {', '.join(stale)} finding "
+                        f"on this line; remove the stale '# noqa' code"
+                    ),
+                    severity="note",
+                )
 
 
 def lint_paths(

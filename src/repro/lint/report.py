@@ -1,10 +1,62 @@
-"""Rendering lint reports as text or JSON."""
+"""Rendering lint reports as text, JSON, or SARIF 2.1.0."""
 
 from __future__ import annotations
 
 import json
+from typing import Collection
 
-from repro.lint.engine import LintReport
+from repro.lint.engine import (
+    PARSE_RULE_ID,
+    UNUSED_SUPPRESSION_RULE_ID,
+    Finding,
+    LintReport,
+    all_rules,
+)
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Engine-level pseudo-rules that have no Rule class behind them.
+ENGINE_RULES: dict[str, str] = {
+    PARSE_RULE_ID: "file does not parse",
+    UNUSED_SUPPRESSION_RULE_ID: "suppression comment matches no finding",
+}
+
+_ENGINE_RULE_DETAILS: dict[str, str] = {
+    PARSE_RULE_ID: (
+        "Emitted by the engine itself when a file cannot be parsed "
+        "(syntax error, bad encoding, unreadable).  Nothing else can be "
+        "checked in such a file, so the parse failure is the finding."
+    ),
+    UNUSED_SUPPRESSION_RULE_ID: (
+        "A '# noqa: BA00x' comment names a rule that produced no finding "
+        "on that line (the rule did run).  Stale suppressions hide future "
+        "regressions; remove the code.  Blanket '# noqa' comments and "
+        "foreign codes (F401, S307, ...) are never flagged.  Severity: "
+        "note."
+    ),
+}
+
+
+def explain_rule(rule_id: str) -> str | None:
+    """Long-form documentation for one rule id, or ``None`` if unknown.
+
+    Registered rules explain themselves through their defining module's
+    docstring, which states the paper invariant the rule encodes.
+    """
+    import sys
+
+    rule_id = rule_id.strip().upper()
+    if rule_id in ENGINE_RULES:
+        return (
+            f"{rule_id}: {ENGINE_RULES[rule_id]}\n\n"
+            f"{_ENGINE_RULE_DETAILS[rule_id]}"
+        )
+    rule_class = all_rules().get(rule_id)
+    if rule_class is None:
+        return None
+    detail = (sys.modules[rule_class.__module__].__doc__ or "").strip()
+    text = f"{rule_id}: {rule_class.summary}"
+    return f"{text}\n\n{detail}" if detail else text
 
 
 def render_text(report: LintReport) -> str:
@@ -30,5 +82,70 @@ def render_json(report: LintReport) -> str:
         "files_checked": report.files_checked,
         "rules_run": report.rules_run,
         "findings": [finding.to_dict() for finding in report.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rules(report: LintReport) -> list[dict[str, object]]:
+    descriptors: dict[str, str] = dict(ENGINE_RULES)
+    for rule_id, rule_class in all_rules().items():
+        descriptors[rule_id] = rule_class.summary
+    for rule_id in report.rules_run:
+        descriptors.setdefault(rule_id, rule_id)
+    return [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": summary},
+        }
+        for rule_id, summary in sorted(descriptors.items())
+    ]
+
+
+def render_sarif(
+    report: LintReport, baselined: Collection[Finding] = ()
+) -> str:
+    """The report as SARIF 2.1.0, for code-scanning UIs and CI upload.
+
+    Findings in *baselined* are still emitted (the debt stays visible)
+    but carry an external ``suppression``, which SARIF consumers treat
+    as "known, not newly introduced".
+    """
+    suppressed = set(baselined)
+    results = []
+    for finding in report.findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "note" if finding.severity == "note" else "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding in suppressed:
+            result["suppressions"] = [{"kind": "external"}]
+        results.append(result)
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/static-analysis.md",
+                        "rules": _sarif_rules(report),
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

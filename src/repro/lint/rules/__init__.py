@@ -1,5 +1,14 @@
-"""The built-in repro lint rules.  Importing this package registers them."""
+"""The built-in repro lint rules.  Importing this package registers them.
 
+BA001-BA005 are per-file syntactic rules; BA006-BA009 live in
+:mod:`repro.lint.analysis` and reason over the whole program through the
+protocol call graph.
+"""
+
+from repro.lint.analysis.ba006_messages import MessageBudgetRule
+from repro.lint.analysis.ba007_signatures import SignatureBudgetRule
+from repro.lint.analysis.ba008_taint import UnverifiedRelayRule
+from repro.lint.analysis.ba009_shared_state import SharedStateRule
 from repro.lint.rules.ba001_determinism import DeterminismRule
 from repro.lint.rules.ba002_bounds import BoundDeclarationRule
 from repro.lint.rules.ba003_signing import SigningDisciplineRule
@@ -12,4 +21,8 @@ __all__ = [
     "SigningDisciplineRule",
     "EnvelopeImmutabilityRule",
     "DictFanoutRule",
+    "MessageBudgetRule",
+    "SignatureBudgetRule",
+    "UnverifiedRelayRule",
+    "SharedStateRule",
 ]

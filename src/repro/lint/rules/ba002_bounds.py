@@ -22,11 +22,13 @@ import ast
 from typing import Iterator, Mapping
 
 from repro.bounds.expressions import (
+    SAMPLE_GRID,
     SENTINELS,
     BoundExpressionError,
     evaluate_bound,
     validate_bound_expression,
 )
+from repro.lint.asthelpers import constant_bool, constant_str
 from repro.lint.engine import (
     ClassRecord,
     Finding,
@@ -65,27 +67,6 @@ PAPER_FORMS: Mapping[str, Mapping[str, str]] = {
     },
 }
 
-#: Sample parameter points the declared and canonical forms are compared
-#: on.  ``n > 3t`` keeps every formula in its domain; ``s = t`` and
-#: ``m = t + 1`` match how the algorithms instantiate those knobs.
-SAMPLE_GRID: tuple[Mapping[str, int], ...] = tuple(
-    {"n": 3 * t + 2, "t": t, "s": t, "m": t + 1, "alpha": t + 1, "width": t + 1}
-    for t in (1, 2, 3, 4)
-)
-
-
-def _constant_str(node: ast.expr | None) -> str | None:
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value
-    return None
-
-
-def _constant_bool(node: ast.expr | None) -> bool | None:
-    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
-        return node.value
-    return None
-
-
 @register
 class BoundDeclarationRule(Rule):
     """BA002: concrete algorithms declare phase/message/signature budgets."""
@@ -123,7 +104,7 @@ class BoundDeclarationRule(Rule):
                     f"{attribute!r} in its own body",
                 )
                 continue
-            declaration = _constant_str(declaration_node)
+            declaration = constant_str(declaration_node)
             if declaration is None:
                 yield file.finding(
                     declaration_node,
@@ -180,12 +161,12 @@ class BoundDeclarationRule(Rule):
     def _registry_name(
         self, record: ClassRecord, project: ProjectIndex
     ) -> str | None:
-        return _constant_str(project.resolve_class_attribute(record, "name"))
+        return constant_str(project.resolve_class_attribute(record, "name"))
 
     def _is_authenticated(
         self, record: ClassRecord, project: ProjectIndex
     ) -> bool:
-        declared = _constant_bool(
+        declared = constant_bool(
             project.resolve_class_attribute(record, "authenticated")
         )
         # AgreementAlgorithm defaults to authenticated=True.

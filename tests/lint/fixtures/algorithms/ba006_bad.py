@@ -1,0 +1,28 @@
+"""Seeded BA006 violation: one phase out-sends the whole-run budget."""
+
+from repro.core.protocol import AgreementAlgorithm, Processor
+
+
+class ChattyProcessor(Processor):
+    """Broadcasts to every peer twice per phase."""
+
+    def on_phase(self, phase, inbox):
+        outgoing = [(q, self.value) for q in self.ctx.others()]
+        for q in self.ctx.others():
+            outgoing.append((q, self.value))
+        return outgoing
+
+    def decision(self):
+        return self.value
+
+
+class ChattyBroadcast(AgreementAlgorithm):
+    """Declares n - 1 messages for the run, but every phase sends 2(n - 1)."""
+
+    name = "chatty-broadcast"
+    phase_bound = "t + 1"
+    message_bound = "n - 1"
+    signature_bound = "unstated"
+
+    def make_processor(self, pid):
+        return ChattyProcessor(pid)

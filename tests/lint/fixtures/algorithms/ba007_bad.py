@@ -1,0 +1,32 @@
+"""Seeded BA007 violation: one phase out-signs the whole-run budget."""
+
+from repro.core.protocol import AgreementAlgorithm, Processor
+from repro.crypto.chains import SignatureChain
+
+
+class OverSigningProcessor(Processor):
+    """Mints a fresh signature chain for every peer, every phase."""
+
+    def on_phase(self, phase, inbox):
+        outgoing = []
+        for q in self.ctx.others():
+            chain = SignatureChain.initial(
+                self.value, self.ctx.key, self.ctx.service
+            )
+            outgoing.append((q, chain))
+        return outgoing
+
+    def decision(self):
+        return self.value
+
+
+class OverSigning(AgreementAlgorithm):
+    """signature_bound says t + 1, but one phase already signs n - 1."""
+
+    name = "over-signing"
+    phase_bound = "t + 1"
+    message_bound = "derived"
+    signature_bound = "t + 1"
+
+    def make_processor(self, pid):
+        return OverSigningProcessor(pid)

@@ -1,0 +1,43 @@
+"""Seeded BA008 violations: deciding on unverified relayed payloads."""
+
+from repro.core.protocol import AgreementAlgorithm, Processor
+
+
+class GullibleProcessor(Processor):
+    """Stores inbox payloads into decision state without verifying."""
+
+    def __init__(self, pid):
+        self.pid = pid
+        self.accepted = set()
+        self.latest = None
+
+    def on_phase(self, phase, inbox):
+        for envelope in inbox:
+            chain = envelope.payload
+            self.accepted.add(chain.value)
+            self._note(chain)
+        return []
+
+    def _note(self, chain):
+        self.latest = chain
+
+    def on_final(self, inbox):
+        for envelope in inbox:
+            self.latest = envelope.payload
+
+    def decision(self):
+        if self.latest is not None:
+            return self.latest
+        return min(self.accepted, default=0)
+
+
+class GullibleAgreement(AgreementAlgorithm):
+    """Authenticated (by default), yet never checks a signature chain."""
+
+    name = "gullible"
+    phase_bound = "t + 1"
+    message_bound = "derived"
+    signature_bound = "derived"
+
+    def make_processor(self, pid):
+        return GullibleProcessor(pid)

@@ -1,0 +1,26 @@
+"""Seeded BA009 violations: worker-reachable shared-state mutation."""
+
+_RESULTS_CACHE = {}
+
+
+class Settings:
+    retries = 1
+
+
+class SweepTask:
+    def __init__(self, point):
+        self.point = point
+
+    def run(self):
+        return accumulate(self.point)
+
+
+def _run_chunk(tasks):
+    return [task.run() for task in tasks]
+
+
+def accumulate(point):
+    global _RESULTS_CACHE
+    _RESULTS_CACHE[point] = True
+    Settings.retries = 5
+    return point

@@ -1,0 +1,160 @@
+"""Unit tests for the shared AST helpers the lint rules build on."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.asthelpers import (
+    comprehension_is_order_insensitive,
+    constant_bool,
+    constant_str,
+    iteration_sites,
+    set_valued_locals,
+)
+from repro.lint.engine import SourceFile
+import repro.lint.engine as engine_module
+
+
+def source_file(source: str) -> SourceFile:
+    tree = ast.parse(source)
+    return SourceFile(
+        path=Path("mod.py"),
+        display="mod.py",
+        source=source,
+        tree=tree,
+        suppressions=engine_module._scan_suppressions(source),
+        parents=engine_module._build_parents(tree),
+    )
+
+
+class TestConstantHelpers:
+    def test_constant_str(self):
+        assert constant_str(ast.parse("'x'", mode="eval").body) == "x"
+        assert constant_str(ast.parse("3", mode="eval").body) is None
+        assert constant_str(None) is None
+
+    def test_constant_bool(self):
+        assert constant_bool(ast.parse("True", mode="eval").body) is True
+        assert constant_bool(ast.parse("False", mode="eval").body) is False
+        # ints are not bools, even though bool subclasses int.
+        assert constant_bool(ast.parse("1", mode="eval").body) is None
+        assert constant_bool(None) is None
+
+
+class TestIterationSites:
+    def test_for_statements_have_no_owner(self):
+        file = source_file("for x in xs:\n    pass\n")
+        ((iterated, owner),) = list(iteration_sites(file))
+        assert isinstance(iterated, ast.Name) and iterated.id == "xs"
+        assert owner is None
+
+    def test_async_for_is_covered(self):
+        file = source_file(
+            "async def f(xs):\n    async for x in xs:\n        pass\n"
+        )
+        ((iterated, owner),) = list(iteration_sites(file))
+        assert isinstance(iterated, ast.Name) and iterated.id == "xs"
+        assert owner is None
+
+    def test_comprehension_owner_is_the_comprehension(self):
+        file = source_file("ys = [x for x in xs]\n")
+        ((iterated, owner),) = list(iteration_sites(file))
+        assert isinstance(owner, ast.ListComp)
+        assert iterated is owner.generators[0].iter
+
+    def test_dict_comprehension_is_covered(self):
+        file = source_file("ys = {k: v for k, v in items}\n")
+        ((_, owner),) = list(iteration_sites(file))
+        assert isinstance(owner, ast.DictComp)
+
+    def test_nested_comprehensions_yield_every_generator(self):
+        file = source_file("ys = [x for row in grid for x in sorted(row)]\n")
+        sites = list(iteration_sites(file))
+        assert len(sites) == 2
+        owners = {type(owner) for _, owner in sites}
+        assert owners == {ast.ListComp}
+
+    def test_comprehension_inside_for_yields_both(self):
+        file = source_file(
+            "for row in grid:\n    ys = {x for x in row}\n"
+        )
+        sites = list(iteration_sites(file))
+        assert len(sites) == 2
+        owners = [owner for _, owner in sites]
+        assert owners[0] is None or owners[1] is None
+        assert any(isinstance(owner, ast.SetComp) for owner in owners)
+
+
+class TestSetValuedLocals:
+    def test_plain_and_annotated_assignments(self):
+        tree = ast.parse(
+            "def f():\n"
+            "    a = set()\n"
+            "    b: set[int] = load()\n"
+            "    c = {1, 2}\n"
+            "    d = [1, 2]\n"
+        )
+        assert set_valued_locals(tree.body[0]) == {"a", "b", "c"}
+
+    def test_walrus_targets_are_covered(self):
+        tree = ast.parse(
+            "def f(xs):\n"
+            "    if (pending := set(xs)):\n"
+            "        return pending\n"
+        )
+        assert set_valued_locals(tree.body[0]) == {"pending"}
+
+    def test_augmented_assignment_with_set_rhs(self):
+        tree = ast.parse(
+            "def f(xs):\n"
+            "    seen = None\n"
+            "    seen |= {1}\n"
+            "    count = 0\n"
+            "    count += 1\n"
+        )
+        assert set_valued_locals(tree.body[0]) == {"seen"}
+
+    def test_set_comprehension_counts(self):
+        tree = ast.parse("def f(xs):\n    s = {x for x in xs}\n")
+        assert set_valued_locals(tree.body[0]) == {"s"}
+
+    def test_frozenset_call_counts(self):
+        tree = ast.parse("def f(xs):\n    s = frozenset(xs)\n")
+        assert set_valued_locals(tree.body[0]) == {"s"}
+
+
+class TestComprehensionIsOrderInsensitive:
+    def _owner(self, file: SourceFile) -> ast.expr:
+        for node in ast.walk(file.tree):
+            if isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+            ):
+                return node
+        raise AssertionError("no comprehension in source")
+
+    def test_set_comprehension_is_always_insensitive(self):
+        file = source_file("s = {x for x in xs}\n")
+        assert comprehension_is_order_insensitive(file, self._owner(file))
+
+    def test_feeding_sorted_is_insensitive(self):
+        file = source_file("s = sorted(x for x in xs)\n")
+        assert comprehension_is_order_insensitive(file, self._owner(file))
+
+    def test_feeding_sum_is_insensitive(self):
+        file = source_file("s = sum([x for x in xs])\n")
+        assert comprehension_is_order_insensitive(file, self._owner(file))
+
+    def test_bare_list_comprehension_is_sensitive(self):
+        file = source_file("s = [x for x in xs]\n")
+        assert not comprehension_is_order_insensitive(file, self._owner(file))
+
+    def test_keyword_argument_position_is_sensitive(self):
+        # only positional arguments of order-insensitive calls count.
+        file = source_file("s = sorted(xs, key=[x for x in ks].count)\n")
+        owner = self._owner(file)
+        assert not comprehension_is_order_insensitive(file, owner)
+
+    def test_unknown_call_is_sensitive(self):
+        file = source_file("s = shuffle([x for x in xs])\n")
+        assert not comprehension_is_order_insensitive(file, self._owner(file))

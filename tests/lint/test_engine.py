@@ -16,7 +16,20 @@ from repro.lint import (
 from repro.lint.engine import PARSE_RULE_ID
 
 FIXTURES = Path(__file__).parent / "fixtures"
-RULE_IDS = ("BA001", "BA002", "BA003", "BA004", "BA005")
+RULE_IDS = (
+    "BA001",
+    "BA002",
+    "BA003",
+    "BA004",
+    "BA005",
+    "BA006",
+    "BA007",
+    "BA008",
+    "BA009",
+)
+#: Rules whose violation fixture does not follow the
+#: ``algorithms/<id>_bad.py`` convention.
+FIXTURE_OVERRIDES = {"BA009": Path("analysis") / "parallel.py"}
 
 
 def test_registry_exposes_all_rules():
@@ -39,7 +52,10 @@ def test_findings_are_sorted_by_location():
 def test_every_rule_fires_on_its_fixture():
     report = lint_paths([FIXTURES])
     for rule_id in RULE_IDS:
-        fixture = FIXTURES / "algorithms" / f"{rule_id.lower()}_bad.py"
+        relative = FIXTURE_OVERRIDES.get(
+            rule_id, Path("algorithms") / f"{rule_id.lower()}_bad.py"
+        )
+        fixture = FIXTURES / relative
         hits = [
             f
             for f in report.findings
@@ -74,6 +90,76 @@ def test_noqa_suppresses_by_rule_id(tmp_path):
     assert [f.line for f in report.findings if f.rule == "BA005"] == [4]
 
 
+def test_noqa_codes_are_case_insensitive(tmp_path):
+    """A lower-case suppression code works the same as its canonical form."""
+    code = (
+        "def f(d):\n"
+        "    for k in d.items():  # noqa: ba005\n"
+        "        pass\n"
+    )
+    target = tmp_path / "algorithms" / "mod.py"
+    target.parent.mkdir()
+    target.write_text(code)
+    report = lint_paths([target])
+    assert not [f for f in report.findings if f.rule == "BA005"]
+    # The suppression was used, so no BA100 notice either.
+    assert not [f for f in report.findings if f.rule == "BA100"]
+
+
+class TestUnusedSuppressions:
+    def _lint(self, tmp_path, code):
+        target = tmp_path / "algorithms" / "mod.py"
+        target.parent.mkdir(exist_ok=True)
+        target.write_text(code)
+        return lint_paths([target])
+
+    def test_stale_code_yields_ba100_notice(self, tmp_path):
+        report = self._lint(tmp_path, "x = 1  # noqa: BA005\n")
+        notices = [f for f in report.findings if f.rule == "BA100"]
+        assert len(notices) == 1
+        assert notices[0].line == 1
+        assert "BA005" in notices[0].message
+        assert notices[0].severity == "note"
+
+    def test_used_code_yields_no_notice(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def f(d):\n"
+            "    for k in d.items():  # noqa: BA005\n"
+            "        pass\n",
+        )
+        assert not [f for f in report.findings if f.rule == "BA100"]
+
+    def test_blanket_noqa_is_exempt(self, tmp_path):
+        report = self._lint(tmp_path, "x = 1  # noqa\n")
+        assert not [f for f in report.findings if f.rule == "BA100"]
+
+    def test_foreign_codes_are_exempt(self, tmp_path):
+        report = self._lint(tmp_path, "import os  # noqa: F401\n")
+        assert not [f for f in report.findings if f.rule == "BA100"]
+
+    def test_mixed_comment_flags_only_the_stale_own_code(self, tmp_path):
+        report = self._lint(
+            tmp_path,
+            "def f(d):\n"
+            "    for k in d.items():  # noqa: BA005, BA001, F401\n"
+            "        pass\n",
+        )
+        notices = [f for f in report.findings if f.rule == "BA100"]
+        assert len(notices) == 1
+        assert "BA001" in notices[0].message
+        assert "F401" not in notices[0].message
+
+    def test_rule_subset_runs_do_not_flag_unrun_codes(self, tmp_path):
+        code = "x = 1  # noqa: BA005\n"
+        target = tmp_path / "algorithms" / "mod.py"
+        target.parent.mkdir()
+        target.write_text(code)
+        engine = LintEngine([all_rules()["BA001"]])
+        report = engine.run([target])
+        assert not [f for f in report.findings if f.rule == "BA100"]
+
+
 def test_parse_error_becomes_ba000_finding(tmp_path):
     bad = tmp_path / "broken.py"
     bad.write_text("def broken(:\n")
@@ -98,7 +184,14 @@ def test_render_json_round_trips():
     assert payload["ok"] is False
     assert payload["files_checked"] == report.files_checked
     assert len(payload["findings"]) == len(report.findings)
-    assert set(payload["findings"][0]) == {"rule", "path", "line", "column", "message"}
+    assert set(payload["findings"][0]) == {
+        "rule",
+        "path",
+        "line",
+        "column",
+        "message",
+        "severity",
+    }
 
 
 def test_engine_accepts_rule_subset():

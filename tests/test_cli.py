@@ -155,7 +155,10 @@ class TestLintCommand:
     def test_lint_seeded_violations_nonzero_exit(self, capsys):
         assert main(["lint", LINT_FIXTURES]) == 1
         out = capsys.readouterr().out
-        for rule_id in ("BA001", "BA002", "BA003", "BA004", "BA005"):
+        for rule_id in (
+            "BA001", "BA002", "BA003", "BA004", "BA005",
+            "BA006", "BA007", "BA008", "BA009",
+        ):
             assert rule_id in out
         assert "ba001_bad.py:3:1" in out
 
@@ -167,9 +170,84 @@ class TestLintCommand:
         assert main(["lint", LINT_FIXTURES, "--format=json"]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["ok"] is False
-        assert payload["rules_run"] == ["BA001", "BA002", "BA003", "BA004", "BA005"]
+        assert payload["rules_run"] == [
+            "BA001", "BA002", "BA003", "BA004", "BA005",
+            "BA006", "BA007", "BA008", "BA009",
+        ]
         rules_hit = {f["rule"] for f in payload["findings"]}
-        assert rules_hit == {"BA001", "BA002", "BA003", "BA004", "BA005"}
+        assert rules_hit == {
+            "BA001", "BA002", "BA003", "BA004", "BA005",
+            "BA006", "BA007", "BA008", "BA009",
+        }
+
+    def test_lint_sarif_format(self, capsys):
+        assert main(["lint", LINT_FIXTURES, "--format=sarif"]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"]
+
+    def test_lint_explain_known_rule(self, capsys):
+        assert main(["lint", "--explain", "BA006"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("BA006:")
+        assert "message_bound" in out
+
+    def test_lint_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "BA999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_lint_baseline_gate_passes_on_committed_baseline(self, capsys):
+        committed = str(Path(__file__).parents[1] / "lint_baseline.json")
+        assert main(["lint", "--baseline", committed]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_write_baseline_then_gate(self, tmp_path, capsys):
+        target = str(tmp_path / "baseline.json")
+        assert main(
+            ["lint", LINT_FIXTURES, "--baseline", target, "--write-baseline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "baseline entries" in out
+        # with all fixture debt grandfathered, the gate goes green ...
+        assert main(["lint", LINT_FIXTURES, "--baseline", target]) == 0
+        out = capsys.readouterr().out
+        assert "baselined findings not shown" in out
+        # ... and the SARIF output keeps the debt visible but suppressed.
+        assert main(
+            ["lint", LINT_FIXTURES, "--baseline", target, "--format=sarif"]
+        ) == 0
+        sarif = json.loads(capsys.readouterr().out)
+        results = sarif["runs"][0]["results"]
+        assert results
+        assert all(
+            r.get("suppressions") == [{"kind": "external"}] for r in results
+        )
+
+    def test_lint_write_baseline_requires_baseline_path(self, capsys):
+        assert main(["lint", LINT_FIXTURES, "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_lint_malformed_baseline_is_an_error(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        target.write_text("{}")
+        assert main(["lint", LINT_FIXTURES, "--baseline", str(target)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_lint_stale_baseline_entries_warn_but_pass(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({
+            "schema": "repro-lint-baseline/1",
+            "findings": [{
+                "rule": "BA001",
+                "path": "repro/zz_gone.py",
+                "message": "never matches",
+            }],
+        }))
+        assert main(["lint", "--baseline", str(target)]) == 0
+        captured = capsys.readouterr()
+        assert "stale baseline entry" in captured.err
 
 
 class TestRunObservability:
