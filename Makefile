@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint lint-protocol lint-baseline check bench bench-compare benchmarks fuzz fuzz-smoke docs-check
+.PHONY: test lint lint-protocol lint-baseline check bench bench-compare benchmarks fuzz fuzz-smoke chaos-smoke docs-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -50,3 +50,11 @@ fuzz:
 # Time-boxed CI smoke: a fixed-seed campaign sized to ~10s.
 fuzz-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --algorithm all --budget 300 --seed 0
+
+# Chaos smoke: a fixed-seed campaign of benign delivery faults
+# (crashes, omissions, drops, delays, duplicates, partitions) over
+# every algorithm, sized to ~10s.  Deterministic for the seed; any
+# failure is divergence the injected faults cannot excuse.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro fuzz --algorithm all --fault-rate 0.2 \
+		--budget 300 --seed 0

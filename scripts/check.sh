@@ -47,6 +47,9 @@ fi
 # committed baseline.  Skipped when no baseline JSON exists or when
 # PERF_SMOKE=0; wall-clock comparisons across different machines are noisy,
 # so the smoke uses a generous threshold (override: PERF_SMOKE_THRESHOLD).
+# The basket runs fault-free, so this also pins the transport fast path:
+# routing through the Transport layer must stay within the committed
+# BENCH_runner.json envelope.
 if [ -f BENCH_runner.json ] && [ "${PERF_SMOKE:-1}" != "0" ]; then
     echo "== perf smoke =="
     current="$(mktemp /tmp/bench_current.XXXXXX.json)"
@@ -71,6 +74,19 @@ if [ "${FUZZ_SMOKE:-1}" != "0" ]; then
     PYTHONPATH=src python -m repro fuzz --algorithm all --budget 300 --seed 0 || status=1
 else
     echo "== fuzz smoke == (FUZZ_SMOKE=0, skipped)"
+fi
+
+# Chaos smoke: the fuzz campaign again, but with seeded benign delivery
+# faults (crash/omission/drop/delay/duplicate/partition) injected through
+# the FaultyTransport.  Deterministic for the seed; a failure means the
+# oracle saw divergence the injected faults cannot excuse.  Disable with
+# CHAOS_SMOKE=0.
+if [ "${CHAOS_SMOKE:-1}" != "0" ]; then
+    echo "== chaos smoke =="
+    PYTHONPATH=src python -m repro fuzz --algorithm all --fault-rate 0.2 \
+        --budget 300 --seed 0 || status=1
+else
+    echo "== chaos smoke == (CHAOS_SMOKE=0, skipped)"
 fi
 
 exit "$status"

@@ -20,14 +20,30 @@ Requirements for the parallel path (``workers > 1``):
 
 ``workers=1`` is a guaranteed-serial fallback that never pickles anything,
 so it accepts the same lambdas :func:`~repro.analysis.sweep.sweep` does.
+
+The engine is *self-healing*: long grids survive wedged or killed workers.
+Each chunk gets a deadline (``task_timeout`` × chunk length), failed
+chunks are retried with exponential backoff, a broken or timed-out pool
+is torn down (stuck workers terminated best-effort) and rebuilt, and a
+chunk that exhausts its retries falls back to a serial in-process run —
+so a transient fault costs a retry, while a deterministic task bug still
+surfaces with its real traceback.  An optional ``checkpoint`` file
+persists finished chunks (pickle frames behind a fingerprinted header),
+letting an interrupted sweep or fuzz campaign resume instead of starting
+over; a corrupt tail costs only the partial frame.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Iterable, Mapping, Protocol, Sequence, TypeVar
 
 from repro.adversary.base import Adversary
@@ -174,11 +190,185 @@ def _chunked(tasks: Sequence[_TaskT], size: int) -> list[Sequence[_TaskT]]:
     return [tasks[i : i + size] for i in range(0, len(tasks), size)]
 
 
+#: Version tag in every checkpoint file's header frame.
+CHECKPOINT_MAGIC = "repro-checkpoint/1"
+
+
+def _fingerprint(tasks: Sequence[Task], chunk_size: int) -> str:
+    """Identity of one (task list, chunking) pair.
+
+    Resuming is only sound when the chunks of this run are byte-identical
+    to the ones the checkpoint was written for — the frames are keyed by
+    chunk index.  Any change to the tasks or the chunking gets a fresh
+    fingerprint and the stale file is discarded wholesale.
+    """
+    blob = pickle.dumps((list(tasks), int(chunk_size)))
+    return hashlib.sha256(blob).hexdigest()
+
+
+class SweepCheckpoint:
+    """Resumable ledger of finished chunks (pickle frames on disk).
+
+    Layout: one header frame ``{"magic", "fingerprint"}`` followed by one
+    ``(chunk_index, results)`` frame per finished chunk, appended and
+    flushed as chunks complete.  :meth:`open` loads whatever frames a
+    previous (interrupted) run managed to write — a corrupt or truncated
+    tail is tolerated, costing only the partial frame — then rewrites the
+    file from the surviving frames so later appends land on a clean tail.
+    """
+
+    def __init__(self, path: str | Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        #: chunk index -> that chunk's result list, loaded by :meth:`open`.
+        self.completed: dict[int, list] = {}
+        self._handle = None
+
+    def open(self) -> None:
+        """Load prior progress (if compatible) and start a clean file."""
+        self.completed = self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "wb")
+        pickle.dump(
+            {"magic": CHECKPOINT_MAGIC, "fingerprint": self.fingerprint},
+            self._handle,
+        )
+        for index in sorted(self.completed):
+            pickle.dump((index, self.completed[index]), self._handle)
+        self._handle.flush()
+
+    def _load(self) -> dict[int, list]:
+        completed: dict[int, list] = {}
+        try:
+            handle = open(self.path, "rb")
+        except OSError:
+            return completed
+        with handle:
+            try:
+                header = pickle.load(handle)
+            except Exception:
+                return completed
+            if (
+                not isinstance(header, dict)
+                or header.get("magic") != CHECKPOINT_MAGIC
+                or header.get("fingerprint") != self.fingerprint
+            ):
+                return completed
+            while True:
+                try:
+                    index, results = pickle.load(handle)
+                    completed[int(index)] = list(results)
+                except EOFError:
+                    break
+                except Exception:
+                    # Corrupt tail (the writer died mid-frame): keep every
+                    # frame read so far, drop the rest.
+                    break
+        return completed
+
+    def record(self, index: int, results: list) -> None:
+        """Append one finished chunk and flush it to disk."""
+        assert self._handle is not None, "open() before record()"
+        pickle.dump((index, list(results)), self._handle)
+        self._handle.flush()
+
+    def close(self, *, remove: bool = False) -> None:
+        """Close the file; *remove* deletes it (the run completed)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if remove:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+
+
+def _rebuild_pool(
+    pool: ProcessPoolExecutor, workers: int
+) -> ProcessPoolExecutor:
+    """Tear a suspect pool down (stuck workers terminated best-effort)
+    and hand back a fresh one."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _run_chunks_parallel(
+    chunks: Sequence[Sequence[Task]],
+    pending: Sequence[int],
+    results: dict[int, list],
+    *,
+    workers: int,
+    task_timeout: float | None,
+    max_retries: int,
+    backoff: float,
+    checkpoint: "SweepCheckpoint | None",
+) -> None:
+    """The self-healing harvest loop: fill ``results`` for *pending*."""
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = {
+            index: pool.submit(_run_chunk, chunks[index]) for index in pending
+        }
+        attempts = {index: 0 for index in pending}
+        queue = list(pending)
+        while queue:
+            index = queue.pop(0)
+            deadline = (
+                task_timeout * len(chunks[index])
+                if task_timeout is not None
+                else None
+            )
+            try:
+                chunk_results = futures[index].result(timeout=deadline)
+            except Exception as error:
+                attempts[index] += 1
+                # A timeout means a worker is wedged mid-chunk; a broken
+                # pool means one died.  Either way every in-flight future
+                # is suspect: rebuild and resubmit the survivors.
+                pool_suspect = isinstance(
+                    error, (BrokenProcessPool, FutureTimeoutError)
+                )
+                if pool_suspect:
+                    pool = _rebuild_pool(pool, workers)
+                    for waiting in queue:
+                        futures[waiting] = pool.submit(
+                            _run_chunk, chunks[waiting]
+                        )
+                if attempts[index] > max_retries:
+                    # Last resort: run the chunk here, in-process.  A
+                    # transient fault heals; a real task bug raises with
+                    # its true traceback instead of a pool autopsy.
+                    chunk_results = _run_chunk(chunks[index])
+                else:
+                    time.sleep(backoff * (2 ** (attempts[index] - 1)))
+                    futures[index] = pool.submit(_run_chunk, chunks[index])
+                    queue.insert(0, index)
+                    continue
+            results[index] = chunk_results
+            if checkpoint is not None:
+                checkpoint.record(index, chunk_results)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
 def run_tasks(
     tasks: Sequence[Task],
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    backoff: float = 0.1,
+    checkpoint: str | Path | None = None,
 ) -> list:
     """Execute *tasks* (anything with a picklable ``.run()``) in order.
 
@@ -188,21 +378,75 @@ def run_tasks(
     ``[task.run() for task in tasks]`` regardless of *workers* and
     *chunk_size* — chunks preserve submission order and results are
     concatenated in that order.
+
+    Robustness knobs (see the module docstring):
+
+    * *task_timeout* — per-task seconds; a chunk's deadline is the timeout
+      times its length.  Expired chunks count as pool failures.  Only
+      enforceable on the multi-process path (a serial run cannot interrupt
+      itself), where workers can be terminated.
+    * *max_retries* / *backoff* — how often a failed chunk is resubmitted,
+      sleeping ``backoff * 2**(attempt-1)`` seconds in between; after the
+      retries the chunk runs serially in-process (which surfaces real task
+      bugs with their original traceback).
+    * *checkpoint* — path to a resumable progress file: finished chunks
+      are flushed as pickle frames, a rerun with identical tasks and
+      chunking skips them, and the file is deleted when the run completes.
+      Requires picklable tasks and results even for ``workers=1``.
     """
     tasks = list(tasks)
     workers = default_workers() if workers is None else max(1, workers)
     workers = min(workers, len(tasks)) if tasks else 1
-    if workers <= 1 or len(tasks) <= 1:
+    serial = workers <= 1 or len(tasks) <= 1
+    if serial and checkpoint is None:
         return _run_chunk(tasks)
     _ensure_picklable(tasks)
     if chunk_size is None:
-        # A few chunks per worker keeps the pool busy when scenario costs
-        # are uneven (large-n points dwarf small-n ones) without drowning
-        # the run in inter-process traffic.
-        chunk_size = max(1, -(-len(tasks) // (workers * 4)))
-    chunks = _chunked(tasks, max(1, chunk_size))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return [result for chunk in pool.map(_run_chunk, chunks) for result in chunk]
+        # Serial checkpointing gets per-task granularity; the pool gets a
+        # few chunks per worker — enough to keep it busy when scenario
+        # costs are uneven (large-n points dwarf small-n ones) without
+        # drowning the run in inter-process traffic.
+        chunk_size = 1 if serial else max(1, -(-len(tasks) // (workers * 4)))
+    chunk_size = max(1, chunk_size)
+    chunks = _chunked(tasks, chunk_size)
+
+    ledger: SweepCheckpoint | None = None
+    results: dict[int, list] = {}
+    if checkpoint is not None:
+        ledger = SweepCheckpoint(checkpoint, _fingerprint(tasks, chunk_size))
+        ledger.open()
+        results.update(
+            (index, rows)
+            for index, rows in ledger.completed.items()
+            if 0 <= index < len(chunks)
+        )
+    pending = [index for index in range(len(chunks)) if index not in results]
+    try:
+        if serial:
+            for index in pending:
+                results[index] = _run_chunk(chunks[index])
+                if ledger is not None:
+                    ledger.record(index, results[index])
+        elif pending:
+            _run_chunks_parallel(
+                chunks,
+                pending,
+                results,
+                workers=workers,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                backoff=backoff,
+                checkpoint=ledger,
+            )
+    except BaseException:
+        if ledger is not None:
+            ledger.close(remove=False)
+        raise
+    if ledger is not None:
+        ledger.close(remove=True)
+    return [
+        result for index in range(len(chunks)) for result in results[index]
+    ]
 
 
 def run_specs(
@@ -210,9 +454,19 @@ def run_specs(
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    checkpoint: str | Path | None = None,
 ) -> list[SweepPoint]:
     """Execute sweep *specs* in grid order (see :func:`run_tasks`)."""
-    return run_tasks(specs, workers=workers, chunk_size=chunk_size)
+    return run_tasks(
+        specs,
+        workers=workers,
+        chunk_size=chunk_size,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        checkpoint=checkpoint,
+    )
 
 
 def sweep_parallel(
@@ -223,6 +477,9 @@ def sweep_parallel(
     workers: int | None = None,
     chunk_size: int | None = None,
     trace_dir: str | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    checkpoint: str | Path | None = None,
 ) -> list[SweepPoint]:
     """Drop-in parallel :func:`~repro.analysis.sweep.sweep`.
 
@@ -231,10 +488,15 @@ def sweep_parallel(
     serially in-process.  *trace_dir* opts every scenario into a per-run
     ``repro-trace/1`` JSONL file under that directory (traces are written
     by the worker that executes the scenario; names are deterministic, so
-    the file set is identical for any worker count).
+    the file set is identical for any worker count).  *task_timeout*,
+    *max_retries* and *checkpoint* are the self-healing knobs of
+    :func:`run_tasks`.
     """
     return run_specs(
         expand(configurations, values, adversaries, trace_dir=trace_dir),
         workers=workers,
         chunk_size=chunk_size,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        checkpoint=checkpoint,
     )

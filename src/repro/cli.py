@@ -107,6 +107,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     metrics_out = getattr(args, "metrics_out", None)
     instrument = bool(trace_out or metrics_out)
 
+    transport = None
+    faults_spec = getattr(args, "faults", None)
+    if faults_spec:
+        from repro.transport import FaultSpecError, FaultyTransport, parse_fault_plan
+
+        try:
+            plan = parse_fault_plan(
+                faults_spec,
+                n=algorithm.n,
+                t=algorithm.t,
+                num_phases=algorithm.num_phases(),
+            )
+        except FaultSpecError as error:
+            print(f"repro run: {error}", file=sys.stderr)
+            return 2
+        if not plan.is_empty:
+            transport = FaultyTransport(plan)
+
     trace_sink = None
     sinks: tuple = ()
     if trace_out:
@@ -121,15 +139,24 @@ def cmd_run(args: argparse.Namespace) -> int:
             adversary,
             sinks=sinks,
             collect_telemetry=instrument,
+            transport=transport,
         )
     finally:
         if trace_sink is not None:
             trace_sink.close()
-    report = check_byzantine_agreement(result)
+    excused: frozenset[int] = frozenset()
+    if result.fault_events:
+        from repro.transport import excused_processors
+
+        excused = excused_processors(result.fault_events) & result.correct
+    report = check_byzantine_agreement(result, excused=excused)
 
     print(f"algorithm            : {algorithm.name} (n={algorithm.n}, t={algorithm.t})")
     print(f"phases               : {algorithm.num_phases()}")
     print(f"faulty               : {sorted(result.faulty) or 'none'}")
+    if result.fault_events:
+        print(f"faults injected      : {len(result.fault_events)} "
+              f"(excused: {sorted(excused) or 'nobody'})")
     print(f"decisions            : {result.decided_values()}")
     print(f"messages (correct)   : {result.metrics.messages_by_correct}")
     print(f"signatures (correct) : {result.metrics.signatures_by_correct}")
@@ -483,15 +510,29 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         shrink_result,
         summarize,
     )
-    from repro.fuzz.campaign import default_algorithm_names, known_algorithm_names
+    from repro.fuzz.campaign import (
+        default_algorithm_names,
+        known_algorithm_names,
+        plan_chaos_cases,
+    )
 
     if args.replay:
-        entry = load_entry(args.replay)
+        try:
+            entry = load_entry(args.replay)
+        except OSError as error:
+            print(f"repro fuzz: cannot read corpus file: {error}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError, TypeError) as error:
+            print(f"repro fuzz: corrupt corpus file {args.replay!r}: {error}",
+                  file=sys.stderr)
+            return 2
         outcome = replay_entry(entry)
         print(f"algorithm : {entry.algorithm} (n={entry.n}, t={entry.t}, "
               f"params={entry.params or '{}'})")
         print(f"value     : {entry.value}")
         print(f"script    : {entry.script.describe()}")
+        if entry.fault_plan is not None and not entry.fault_plan.is_empty:
+            print(f"faults    : {entry.fault_plan.describe()}")
         print(f"recorded  : {entry.verdict} — {entry.detail or '(no detail)'}")
         print(f"replayed  : {outcome.verdict} — {outcome.detail or '(no detail)'}")
         reproduced = outcome.verdict == entry.verdict
@@ -508,17 +549,37 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             return 2
         names = [args.algorithm]
 
-    cases = plan_cases(names, budget=args.budget, seed=args.seed)
-    results = run_campaign(cases, workers=args.workers)
+    if args.fault_rate is not None:
+        if not 0.0 < args.fault_rate <= 1.0:
+            print(f"repro fuzz: --fault-rate must be in (0, 1], "
+                  f"got {args.fault_rate}", file=sys.stderr)
+            return 2
+        cases = plan_chaos_cases(
+            names, budget=args.budget, seed=args.seed, fault_rate=args.fault_rate
+        )
+    else:
+        cases = plan_cases(names, budget=args.budget, seed=args.seed)
+    results = run_campaign(
+        cases,
+        workers=args.workers,
+        task_timeout=args.task_timeout,
+        checkpoint=args.checkpoint,
+    )
 
     failures = [r for r in results if r.failed]
     if failures and not args.no_shrink:
         failures = [shrink_result(r) for r in failures]
 
+    mode = (
+        f", chaos fault-rate={args.fault_rate}"
+        if args.fault_rate is not None
+        else ""
+    )
     rows = [s.as_row() for s in summarize(results)]
     print(format_table(
         rows,
-        title=f"repro fuzz (budget={args.budget}/algorithm, seed={args.seed})",
+        title=f"repro fuzz (budget={args.budget}/algorithm, "
+        f"seed={args.seed}{mode})",
     ))
 
     for result in failures:
@@ -528,6 +589,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
               f"(n={case.n}, t={case.t}) value={case.value} seed={case.seed}")
         print(f"  detail : {result.outcome.detail or '(none)'}")
         print(f"  script : {script.describe()}")
+        if case.fault_plan is not None and not case.fault_plan.is_empty:
+            print(f"  faults : {case.fault_plan.describe()}")
         if args.save_corpus:
             entry = CorpusEntry(
                 algorithm=case.algorithm,
@@ -539,6 +602,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 detail=result.outcome.detail,
                 script=script,
                 params=dict(case.params),
+                fault_plan=case.fault_plan,
             )
             path = save_entry(args.save_corpus, entry)
             print(f"  saved  : {path}")
@@ -596,6 +660,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None, metavar="FILE",
         help="export run metrics: Prometheus text, or a repro-bench/1 JSON "
         "when FILE ends in .json (diffable with scripts/bench_compare.py)",
+    )
+    p_run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject benign delivery faults, e.g. "
+        "'crash:2@1; omit-send:3:0.5@2; drop:0->4; partition:1,2@3-4; "
+        "seed:7' — each injection lands in the trace as a 'fault' event "
+        "and agreement is judged crash-tolerantly (excusing the affected "
+        "processors)",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -701,6 +773,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument(
         "--replay", default=None, metavar="FILE",
         help="re-execute one corpus JSON file and check its verdict reproduces",
+    )
+    p_fuzz.add_argument(
+        "--fault-rate", type=float, default=None, metavar="RATE",
+        help="chaos mode: fuzz with seeded benign delivery faults "
+        "(crash/omission/drop/partition) at this intensity in (0, 1] "
+        "instead of Byzantine scripts; verdicts use the crash-tolerant "
+        "oracle reading",
+    )
+    p_fuzz.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-case deadline; wedged workers are terminated and their "
+        "chunk retried (default: no deadline)",
+    )
+    p_fuzz.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="resumable progress file: an interrupted campaign re-run with "
+        "the same arguments skips finished chunks (deleted on completion)",
     )
     p_fuzz.set_defaults(func=cmd_fuzz)
 

@@ -53,3 +53,19 @@ class ValidationError(ReproError):
     Only raised by the strict checking entry points; the ordinary validator
     returns a report instead of raising.
     """
+
+
+class DisagreementError(ReproError, ValueError):
+    """Correct processors decided different values.
+
+    Raised by :meth:`~repro.core.runner.RunResult.unanimous_value`;
+    subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    callers keep working.  Carries the full per-processor decision map so
+    oracles and tests can assert on *who* disagreed instead of
+    string-matching the message.
+    """
+
+    def __init__(self, decisions: dict) -> None:
+        self.decisions = dict(decisions)
+        values = sorted(map(repr, set(self.decisions.values())))
+        super().__init__(f"correct processors disagree: {values}")

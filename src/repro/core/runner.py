@@ -15,10 +15,15 @@ The runner also records the complete :class:`~repro.core.history.History`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.adversary.base import Adversary, AdversaryEnvironment, NullAdversary, PhaseView
-from repro.core.errors import AdversaryError, ConfigurationError, ProtocolViolationError
+from repro.core.errors import (
+    AdversaryError,
+    ConfigurationError,
+    DisagreementError,
+    ProtocolViolationError,
+)
 from repro.core.history import History
 from repro.core.message import Envelope
 from repro.core.metrics import MetricsLedger, count_signatures
@@ -27,6 +32,9 @@ from repro.core.types import INPUT_SOURCE, ProcessorId, Value
 from repro.crypto.signatures import SignatureService
 from repro.obs.events import TRACE_SCHEMA, EventSink, jsonable, safe_digest
 from repro.obs.telemetry import SYSTEM_CLOCK, Clock, PhaseTiming, RunTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.transport.base import Transport
 
 
 @dataclass
@@ -55,6 +63,9 @@ class RunResult:
     #: sink attached or ``collect_telemetry=True``); ``None`` on the
     #: un-instrumented fast path.
     telemetry: RunTelemetry | None = None
+    #: Fault events the transport recorded (``repro-fault/1`` dicts, in
+    #: injection order); empty for the default perfect network.
+    fault_events: tuple[dict[str, Any], ...] = ()
 
     def decision_of(self, pid: ProcessorId) -> Value:
         """Decision of correct processor *pid*."""
@@ -65,10 +76,16 @@ class RunResult:
         return set(self.decisions.values())
 
     def unanimous_value(self) -> Value:
-        """The single agreed value; raises if correct processors disagree."""
+        """The single agreed value.
+
+        Raises:
+            DisagreementError: (a :class:`ValueError` subclass carrying
+                the per-processor decisions) if correct processors
+                disagree.
+        """
         values = self.decided_values()
         if len(values) != 1:
-            raise ValueError(f"correct processors disagree: {sorted(map(repr, values))}")
+            raise DisagreementError(self.decisions)
         return next(iter(values))
 
 
@@ -157,6 +174,7 @@ def run(
     rushing: bool = False,
     record_history: bool = True,
     delivery: str = "merged",
+    transport: "Transport | None" = None,
     sinks: Sequence[EventSink] = (),
     collect_telemetry: bool = False,
     clock: Clock | None = None,
@@ -178,6 +196,18 @@ def run(
             adversary traffic) or ``"sorted"`` (the straightforward
             per-inbox sort, kept as the reference for equivalence tests).
             Both produce identical inboxes; see ``tests/core``.
+        transport: a :class:`~repro.transport.base.Transport` that owns
+            phase delivery — e.g.
+            :class:`~repro.transport.faulty.FaultyTransport` to inject
+            crash/omission/partition faults.  ``None`` (the default)
+            keeps the guarded in-line lockstep fast path, which is
+            byte-identical to ``LockstepTransport`` (pinned by
+            ``tests/transport``).  When a transport is given, *delivery*
+            must stay ``"merged"`` — the transport owns the strategy.
+            Fault events the transport records are forwarded to *sinks*
+            and collected on :attr:`RunResult.fault_events`.  Faults
+            affect delivery only: the history and the metrics ledger
+            record what was *sent*, which is the paper's cost measure.
         sinks: :class:`~repro.obs.events.EventSink` objects receiving the
             ``repro-trace/1`` event stream (``run_start``, ``phase_start``,
             ``send``, ``deliver``, ``decide``, ``run_end``).  The default
@@ -202,6 +232,12 @@ def run(
     if delivery not in ("merged", "sorted"):
         raise ConfigurationError(
             f"unknown delivery strategy {delivery!r}; expected 'merged' or 'sorted'"
+        )
+    if transport is not None and delivery != "merged":
+        raise ConfigurationError(
+            "delivery= and transport= are mutually exclusive: the transport "
+            "owns the routing strategy (LockstepTransport('sorted') is the "
+            "transport spelling of delivery='sorted')"
         )
     route_sorted = delivery == "sorted"
     n, t = algorithm.n, algorithm.t
@@ -270,6 +306,12 @@ def run(
 
     metrics = MetricsLedger(phases_configured=algorithm.num_phases())
     history = History.with_input(algorithm.transmitter, input_value)
+
+    fault_events: list[dict[str, Any]] = []
+    if transport is not None:
+        transport.begin_run(
+            n=n, num_phases=algorithm.num_phases(), correct=correct
+        )
 
     if sinks:
         _emit(
@@ -374,9 +416,20 @@ def run(
         else:
             for envelope in sent:
                 metrics.record_send(envelope, sender_correct=envelope.src in correct)
-        pending = (
-            _route_sorted(sent) if route_sorted else _route_merged(sent, correct_count)
-        )
+        if transport is None:
+            pending = (
+                _route_sorted(sent)
+                if route_sorted
+                else _route_merged(sent, correct_count)
+            )
+        else:
+            pending = transport.deliver(phase, sent, correct_count)
+            injected = transport.drain_faults()
+            if injected:
+                fault_events.extend(injected)
+                if sinks:
+                    for fault in injected:
+                        _emit(sinks, fault, telemetry)
         if sinks:
             for dst in sorted(pending):
                 _emit(
@@ -399,6 +452,14 @@ def run(
                     cpu_s=clk.cpu() - phase_cpu_started,
                 )
             )
+
+    if transport is not None:
+        leftover = transport.end_run(algorithm.num_phases())
+        if leftover:
+            fault_events.extend(leftover)
+            if sinks:
+                for fault in leftover:
+                    _emit(sinks, fault, telemetry)
 
     for pid in sorted(correct):
         processors[pid].on_final(tuple(pending.get(pid, ())))
@@ -443,4 +504,5 @@ def run(
         processors=processors,
         service=service,
         telemetry=telemetry,
+        fault_events=tuple(fault_events),
     )

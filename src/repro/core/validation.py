@@ -28,6 +28,9 @@ class ValidationReport:
     #: True when every correct processor actually decided (no ``None``).
     all_decided: bool
     violations: list[str] = field(default_factory=list)
+    #: Processors whose decisions were ignored (fault-excused); empty for
+    #: the ordinary full check.
+    excused: frozenset[int] = frozenset()
 
     @property
     def ok(self) -> bool:
@@ -35,34 +38,56 @@ class ValidationReport:
         return self.agreement and self.validity and self.all_decided
 
     def __str__(self) -> str:
+        suffix = (
+            f" (excused: {sorted(self.excused)})" if self.excused else ""
+        )
         if self.ok:
-            return "Byzantine Agreement holds"
-        return "; ".join(self.violations)
+            return f"Byzantine Agreement holds{suffix}"
+        return "; ".join(self.violations) + suffix
 
 
-def check_byzantine_agreement(result: RunResult) -> ValidationReport:
-    """Evaluate conditions (i) and (ii) on *result*."""
+def check_byzantine_agreement(
+    result: RunResult, *, excused: frozenset[int] = frozenset()
+) -> ValidationReport:
+    """Evaluate conditions (i) and (ii) on *result*.
+
+    *excused* names correct processors whose decisions are ignored — the
+    crash-tolerant reading used when delivery faults were injected: a
+    processor whose messages the network tampered with is held to no
+    stronger standard than a Byzantine-corrupted one, so only the
+    remaining processors' decisions are constrained (and validity only
+    applies when the transmitter itself is unexcused).
+    """
     violations: list[str] = []
+    decisions = {
+        pid: value
+        for pid, value in result.decisions.items()
+        if pid not in excused
+    }
 
-    undecided = sorted(pid for pid, v in result.decisions.items() if v is None)
+    undecided = sorted(pid for pid, v in decisions.items() if v is None)
     all_decided = not undecided
     if undecided:
         violations.append(f"correct processors {undecided} never decided")
 
-    values = result.decided_values()
+    values = set(decisions.values())
     agreement = len(values) <= 1
     if not agreement:
         per_value = {
-            repr(v): sorted(p for p, d in result.decisions.items() if d == v)
+            repr(v): sorted(p for p, d in decisions.items() if d == v)
             for v in values
         }
         violations.append(f"agreement violated: {per_value}")
 
     validity = True
-    if result.transmitter in result.correct and result.decisions:
+    if (
+        result.transmitter in result.correct
+        and result.transmitter not in excused
+        and decisions
+    ):
         wrong = sorted(
             pid
-            for pid, decided in result.decisions.items()
+            for pid, decided in decisions.items()
             if decided != result.input_value
         )
         if wrong:
@@ -77,6 +102,7 @@ def check_byzantine_agreement(result: RunResult) -> ValidationReport:
         validity=validity,
         all_decided=all_decided,
         violations=violations,
+        excused=frozenset(excused) & result.correct,
     )
 
 

@@ -22,9 +22,10 @@ from repro.algorithms.registry import ALGORITHMS, STRAWMEN, get
 from repro.core.protocol import AgreementAlgorithm
 from repro.core.types import Value
 from repro.fuzz.generator import generate_script
-from repro.fuzz.oracle import OK, FuzzOutcome, execute_script
+from repro.fuzz.oracle import BENIGN, OK, FuzzOutcome, execute_script
 from repro.fuzz.script import AdversaryScript
 from repro.fuzz.shrinker import shrink_script
+from repro.transport.faults import FaultPlan, random_plan
 
 #: Small-but-faulty configurations per registered algorithm: big enough for
 #: t >= 2 coalitions where the size constraints allow it, small enough that
@@ -68,13 +69,21 @@ class FuzzCase:
     seed: int
     script: AdversaryScript
     params: tuple[tuple[str, int], ...] = ()
+    #: Delivery faults injected under the Byzantine script (chaos mode);
+    #: ``None`` keeps the perfect lock-step network.
+    fault_plan: FaultPlan | None = None
 
     def build_algorithm(self) -> AgreementAlgorithm:
         return get(self.algorithm)(self.n, self.t, **dict(self.params))
 
     def run(self) -> "FuzzResult":
         """Execute the case (worker-pool entry point)."""
-        outcome = execute_script(self.build_algorithm(), self.value, self.script)
+        outcome = execute_script(
+            self.build_algorithm(),
+            self.value,
+            self.script,
+            fault_plan=self.fault_plan,
+        )
         return FuzzResult(case=self, outcome=outcome)
 
 
@@ -145,16 +154,86 @@ def plan_cases(
     return cases
 
 
+def plan_chaos_cases(
+    algorithms: Iterable[str],
+    *,
+    budget: int,
+    seed: int,
+    fault_rate: float,
+    values: Sequence[Value] = CAMPAIGN_VALUES,
+    configs: Mapping[str, tuple[int, int, dict[str, int]]] | None = None,
+) -> list[FuzzCase]:
+    """Chaos campaign: benign delivery faults instead of Byzantine scripts.
+
+    Each case runs the algorithm with an *empty* adversary script (no
+    Byzantine coalition) under a seeded
+    :func:`~repro.transport.faults.random_plan` of crash/omission faults
+    whose fault-carrying processors stay within the tolerance ``t`` — so
+    the crash-tolerant oracle reading applies and any ``safety`` verdict
+    is a genuine finding, not fault-budget noise.  Deterministic in
+    ``(algorithms, budget, seed, fault_rate)`` exactly like
+    :func:`plan_cases`.
+    """
+    configs = dict(configs) if configs is not None else FUZZ_CONFIGS
+    cases: list[FuzzCase] = []
+    for name in algorithms:
+        if name not in configs:
+            raise KeyError(
+                f"no fuzz configuration for algorithm {name!r}; "
+                f"known: {sorted(configs)}"
+            )
+        n, t, params = configs[name]
+        algorithm = get(name)(n, t, **params)
+        num_phases = algorithm.num_phases()
+        for index in range(budget):
+            case_seed = derive_seed(seed, name, index)
+            plan = random_plan(
+                case_seed,
+                n=n,
+                t=t,
+                num_phases=num_phases,
+                rate=fault_rate,
+            )
+            cases.append(
+                FuzzCase(
+                    algorithm=name,
+                    n=n,
+                    t=t,
+                    value=values[index % len(values)],
+                    seed=case_seed,
+                    script=AdversaryScript(faulty=()),
+                    params=tuple(sorted(params.items())),
+                    fault_plan=plan,
+                )
+            )
+    return cases
+
+
 def run_campaign(
     cases: Sequence[FuzzCase],
     *,
     workers: int | None = None,
     chunk_size: int | None = None,
+    task_timeout: float | None = None,
+    max_retries: int = 2,
+    checkpoint: str | None = None,
 ) -> list[FuzzResult]:
-    """Execute *cases* in order across the sweep worker pool."""
+    """Execute *cases* in order across the sweep worker pool.
+
+    *task_timeout*, *max_retries* and *checkpoint* are the self-healing
+    knobs of :func:`repro.analysis.parallel.run_tasks` — an interrupted
+    campaign with a checkpoint file resumes instead of re-fuzzing.
+    """
     from repro.analysis.parallel import run_tasks
 
-    return run_tasks(cases, workers=workers, chunk_size=chunk_size)
+    return run_tasks(
+        cases,
+        workers=workers,
+        chunk_size=chunk_size,
+        task_timeout=task_timeout,
+        max_retries=max_retries,
+        checkpoint=checkpoint,
+    )
 
 
 def shrink_result(result: FuzzResult, *, max_attempts: int = 200) -> FuzzResult:
@@ -171,9 +250,16 @@ def shrink_result(result: FuzzResult, *, max_attempts: int = 200) -> FuzzResult:
     value = result.case.value
 
     def reproduce(candidate: AdversaryScript) -> bool:
-        """Re-run one failure and check the verdict reproduces."""
+        """Re-run one failure and check the verdict reproduces.
+
+        The case's fault plan (if any) is held fixed: shrinking minimises
+        the Byzantine script *under the same injected network faults*.
+        """
         probe = execute_script(
-            result.case.build_algorithm(), value, candidate
+            result.case.build_algorithm(),
+            value,
+            candidate,
+            fault_plan=result.case.fault_plan,
         )
         return probe.verdict == target
 
@@ -193,6 +279,9 @@ class AlgorithmSummary:
     algorithm: str
     cases: int = 0
     ok: int = 0
+    #: Divergence fully attributable to injected benign faults (chaos
+    #: campaigns only; not a failure).
+    benign: int = 0
     safety: int = 0
     bound: int = 0
     crash: int = 0
@@ -204,6 +293,7 @@ class AlgorithmSummary:
             "algorithm": self.algorithm,
             "cases": self.cases,
             "ok": self.ok,
+            "benign": self.benign,
             "safety": self.safety,
             "bound": self.bound,
             "crash": self.crash,
@@ -226,6 +316,8 @@ def summarize(results: Sequence[FuzzResult]) -> list[AlgorithmSummary]:
         verdict = result.outcome.verdict
         if verdict == OK:
             summary.ok += 1
+        elif verdict == BENIGN:
+            summary.benign += 1
         elif verdict == "safety":
             summary.safety += 1
         elif verdict == "bound":

@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.fuzz.script import AdversaryScript
+from repro.transport.faults import FaultPlan
 
 CORPUS_SCHEMA = "repro-fuzz/1"
 
@@ -39,11 +40,15 @@ class CorpusEntry:
     detail: str
     script: AdversaryScript
     params: dict[str, int] = field(default_factory=dict)
+    #: Injected delivery faults the counterexample needs (chaos campaigns);
+    #: ``None`` for classic Byzantine-script findings, and omitted from the
+    #: JSON so pre-fault corpus files round-trip unchanged.
+    fault_plan: FaultPlan | None = None
 
     # ------------------------------------------------------------------ JSON
 
     def to_json_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "schema": CORPUS_SCHEMA,
             "algorithm": self.algorithm,
             "n": self.n,
@@ -55,12 +60,16 @@ class CorpusEntry:
             "detail": self.detail,
             "script": self.script.to_json_dict(),
         }
+        if self.fault_plan is not None and not self.fault_plan.is_empty:
+            data["fault_plan"] = self.fault_plan.to_json_dict()
+        return data
 
     @classmethod
     def from_json_dict(cls, data: dict[str, Any]) -> "CorpusEntry":
         schema = data.get("schema")
         if schema != CORPUS_SCHEMA:
             raise ValueError(f"unsupported corpus schema {schema!r}")
+        plan_data = data.get("fault_plan")
         return cls(
             algorithm=data["algorithm"],
             n=int(data["n"]),
@@ -71,6 +80,11 @@ class CorpusEntry:
             verdict=data["verdict"],
             detail=data.get("detail", ""),
             script=AdversaryScript.from_json_dict(data["script"]),
+            fault_plan=(
+                FaultPlan.from_json_dict(plan_data)
+                if plan_data is not None
+                else None
+            ),
         )
 
     def file_name(self) -> str:
@@ -119,7 +133,13 @@ def replay_entry(entry: CorpusEntry, *, sinks: tuple = ()):
     from repro.fuzz.oracle import execute_script
 
     algorithm = get(entry.algorithm)(entry.n, entry.t, **entry.params)
-    return execute_script(algorithm, entry.value, entry.script, sinks=sinks)
+    return execute_script(
+        algorithm,
+        entry.value,
+        entry.script,
+        sinks=sinks,
+        fault_plan=entry.fault_plan,
+    )
 
 
 def save_trace(entry_path: Path | str, entry: CorpusEntry) -> Path:

@@ -16,6 +16,15 @@ algorithm is wrong, ``bound`` means the declared budget (or the theorem it
 cites) is wrong.  A run that raises is ``crash`` — either a robustness gap
 in a protocol's input validation or a harness bug; both deserve a
 counterexample.
+
+Runs executed under an injected :class:`~repro.transport.faults.FaultPlan`
+get a third, *crash-tolerant* reading: a processor whose messages the
+network dropped is excused (it is held to no stronger standard than a
+Byzantine-corrupted one — the Byzantine-projection argument in
+:mod:`repro.transport.faults`), and the BA conditions are demanded of the
+rest.  Divergence confined to excused processors is ``benign``, not a
+failure; divergence among the unexcused — while the faulty-plus-excused
+budget stays within ``t`` — is a genuine ``safety`` finding.
 """
 
 from __future__ import annotations
@@ -27,12 +36,17 @@ from repro.core.runner import RunResult, run
 from repro.core.types import Value
 from repro.core.validation import check_byzantine_agreement
 from repro.fuzz.script import AdversaryScript
+from repro.transport.faults import FaultPlan, excused_processors
+from repro.transport.faulty import FaultyTransport
 
 #: Verdict constants (plain strings: JSON-friendly, picklable).
 OK = "ok"
 SAFETY = "safety"
 BOUND = "bound"
 CRASH = "crash"
+#: Divergence fully attributable to injected benign delivery faults —
+#: expected under crash/omission faults, not a finding.
+BENIGN = "benign"
 
 
 @dataclass(frozen=True)
@@ -47,20 +61,52 @@ class FuzzOutcome:
 
     @property
     def failed(self) -> bool:
-        return self.verdict != OK
+        return self.verdict not in (OK, BENIGN)
 
 
 def classify_run(algorithm: AgreementAlgorithm, result: RunResult) -> FuzzOutcome:
-    """Judge a finished run: BA conditions first, then declared bounds."""
+    """Judge a finished run: BA conditions first, then declared bounds.
+
+    A run carrying :attr:`~repro.core.runner.RunResult.fault_events`
+    (i.e. executed under a fault-injecting transport) is judged with the
+    crash-tolerant expectations from the module docstring; a clean run
+    gets the plain Byzantine reading.
+    """
     metrics = result.metrics
     counts = dict(
         messages=metrics.messages_by_correct,
         signatures=metrics.signatures_by_correct,
         phases_used=metrics.last_active_phase,
     )
-    report = check_byzantine_agreement(result)
-    if not report.ok:
-        return FuzzOutcome(verdict=SAFETY, detail=str(report), **counts)
+    if result.fault_events:
+        excused = excused_processors(result.fault_events) & result.correct
+        survivors_report = check_byzantine_agreement(result, excused=excused)
+        if not survivors_report.ok:
+            # Guarantees only bind while faulty ∪ excused fits the
+            # tolerance t; past the budget any divergence is benign.
+            if len(result.faulty | excused) > result.t or not (
+                result.correct - excused
+            ):
+                return FuzzOutcome(
+                    verdict=BENIGN,
+                    detail=f"fault budget exceeded: {survivors_report}",
+                    **counts,
+                )
+            return FuzzOutcome(verdict=SAFETY, detail=str(survivors_report), **counts)
+        full_report = check_byzantine_agreement(result)
+        if not full_report.ok:
+            return FuzzOutcome(
+                verdict=BENIGN,
+                detail=f"divergence confined to excused {sorted(excused)}: "
+                f"{full_report}",
+                **counts,
+            )
+        # Survivors and excused all agree: fall through to the declared
+        # bounds (faults never add sends, but the budgets must still hold).
+    else:
+        report = check_byzantine_agreement(result)
+        if not report.ok:
+            return FuzzOutcome(verdict=SAFETY, detail=str(report), **counts)
 
     message_bound = algorithm.upper_bound_messages()
     if message_bound is not None and metrics.messages_by_correct > message_bound:
@@ -105,6 +151,7 @@ def execute_script(
     *,
     record_history: bool = False,
     sinks: tuple = (),
+    fault_plan: FaultPlan | None = None,
 ) -> FuzzOutcome:
     """Run *script* against *algorithm* and classify the outcome.
 
@@ -112,8 +159,15 @@ def execute_script(
     propagating: a fuzz campaign must survive its own findings.  *sinks*
     (``repro.obs`` event sinks) receive the run's trace stream; a crashed
     run leaves a truncated trace (no ``run_end``), which is itself useful
-    evidence.
+    evidence.  A non-empty *fault_plan* routes delivery through a
+    :class:`~repro.transport.faulty.FaultyTransport`, switching
+    :func:`classify_run` into its crash-tolerant reading.
     """
+    transport = (
+        FaultyTransport(fault_plan)
+        if fault_plan is not None and not fault_plan.is_empty
+        else None
+    )
     try:
         result = run(
             algorithm,
@@ -121,6 +175,7 @@ def execute_script(
             script.build(),
             record_history=record_history,
             sinks=sinks,
+            transport=transport,
         )
     except Exception as error:
         return FuzzOutcome(

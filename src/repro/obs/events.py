@@ -25,12 +25,15 @@ from repro.core.message import CanonicalisationError, payload_digest
 #: field change; consumers must reject majors they do not understand.
 TRACE_SCHEMA = "repro-trace/1"
 
-#: The complete event vocabulary of ``repro-trace/1``.
+#: The complete event vocabulary of ``repro-trace/1``.  ``fault`` events
+#: are emitted only by fault-injecting transports; each carries its own
+#: ``fault_schema`` (``repro-fault/1``) version tag.
 EVENT_KINDS = (
     "run_start",
     "phase_start",
     "send",
     "deliver",
+    "fault",
     "decide",
     "run_end",
 )

@@ -51,6 +51,11 @@ class TraceSummary:
     signatures_by_correct: int = 0
     signatures_by_faulty: int = 0
     sent_per_processor: dict[int, int] = field(default_factory=dict)
+    #: Injected delivery faults, aggregated by kind (``crash``,
+    #: ``omission_send``, ...); empty for a perfect-network trace.
+    faults_by_kind: dict[str, int] = field(default_factory=dict)
+    #: The raw ``fault`` events, in injection order.
+    fault_events: list[dict[str, Any]] = field(default_factory=list)
     decisions: dict[int, Any] = field(default_factory=dict)
     recorded_ledger: dict[str, Any] | None = None
     recorded_messages_per_phase: dict[int, int] | None = None
@@ -73,6 +78,18 @@ class TraceSummary:
     def total_signatures(self) -> int:
         """Signatures appended by anyone, recomputed from the send events."""
         return self.signatures_by_correct + self.signatures_by_faulty
+
+    @property
+    def faults_injected(self) -> int:
+        """Total ``fault`` events in the trace."""
+        return sum(self.faults_by_kind.values())
+
+    def fault_excused(self) -> list[int]:
+        """Processors the crash-tolerant oracle would excuse for these
+        faults (see :func:`repro.transport.faults.excused_processors`)."""
+        from repro.transport.faults import excused_processors
+
+        return sorted(excused_processors(self.fault_events))
 
     def adaptive_cost(self) -> dict[str, float | int | None]:
         """Correct-sender cost per *actual* fault (``None`` if fault-free)."""
@@ -154,6 +171,8 @@ class TraceSummary:
                 str(k): v for k, v in sorted(self.sent_per_processor.items())
             },
             "decisions": {str(k): v for k, v in sorted(self.decisions.items())},
+            "faults_by_kind": dict(sorted(self.faults_by_kind.items())),
+            "fault_excused": self.fault_excused(),
             "adaptive_cost": self.adaptive_cost(),
             "consistency_errors": self.consistency_errors(),
             "telemetry": self.telemetry,
@@ -215,6 +234,12 @@ def summarize_trace(path: str | Path) -> TraceSummary:
             else:
                 summary.messages_by_faulty += 1
                 summary.signatures_by_faulty += signatures
+        elif kind == "fault":
+            fault_kind = str(event.get("kind", "?"))
+            summary.faults_by_kind[fault_kind] = (
+                summary.faults_by_kind.get(fault_kind, 0) + 1
+            )
+            summary.fault_events.append(dict(event))
         elif kind == "decide":
             summary.decisions[int(event["processor"])] = event.get("decision")
         elif kind == "run_end":
@@ -261,6 +286,14 @@ def render_summary(summary: TraceSummary) -> str:
         f"signatures {summary.signatures_by_correct} correct "
         f"+ {summary.signatures_by_faulty} faulty"
     )
+    if summary.faults_by_kind:
+        kinds = ", ".join(
+            f"{kind}×{count}" for kind, count in sorted(summary.faults_by_kind.items())
+        )
+        out.append(
+            f"injected  : {summary.faults_injected} delivery faults ({kinds}), "
+            f"excusing {summary.fault_excused() or 'nobody'}"
+        )
     adaptive = summary.adaptive_cost()
     if summary.actual_faults:
         out.append(

@@ -1,0 +1,61 @@
+"""Pluggable transport layer: who owns message delivery.
+
+The lock-step runner used to hard-code perfect delivery; this package
+makes delivery a :class:`~repro.transport.base.Transport` seam:
+
+* :class:`~repro.transport.base.LockstepTransport` — the perfect
+  synchronous network, byte-identical to the seed routing (pinned by the
+  equivalence tests in ``tests/transport``);
+* :class:`~repro.transport.faulty.FaultyTransport` — a decorator driven
+  by a seeded, picklable :class:`~repro.transport.faults.FaultPlan`
+  injecting crash-stop (with optional recovery), send/receive omissions,
+  link drops, delays, duplicates, and partitions, each recorded as a
+  schema-versioned ``fault`` event in the ``repro-trace/1`` stream.
+
+The fault vocabulary and the benign/Byzantine classification rationale
+live in :mod:`repro.transport.faults`; ``docs/architecture.md`` has the
+life-of-a-message walk-through and ``docs/telemetry.md`` the event
+schema.
+"""
+
+from repro.transport.base import LockstepTransport, Transport
+from repro.transport.faults import (
+    BENIGN_KINDS,
+    FAULT_SCHEMA,
+    CrashFault,
+    Delay,
+    Duplicate,
+    Fault,
+    FaultPlan,
+    LinkDrop,
+    Partition,
+    ReceiveOmission,
+    SendOmission,
+    excused_processors,
+    random_plan,
+    unit_coin,
+)
+from repro.transport.faulty import FaultyTransport
+from repro.transport.spec import FaultSpecError, parse_fault_plan
+
+__all__ = [
+    "BENIGN_KINDS",
+    "FAULT_SCHEMA",
+    "CrashFault",
+    "Delay",
+    "Duplicate",
+    "Fault",
+    "FaultPlan",
+    "FaultSpecError",
+    "FaultyTransport",
+    "LinkDrop",
+    "LockstepTransport",
+    "Partition",
+    "ReceiveOmission",
+    "SendOmission",
+    "Transport",
+    "excused_processors",
+    "parse_fault_plan",
+    "random_plan",
+    "unit_coin",
+]

@@ -1,0 +1,107 @@
+"""The Transport protocol: who owns phase delivery, and the lockstep backend.
+
+The runner's synchronous model says *what* is delivered (everything sent
+in phase ``k`` arrives at the beginning of ``k + 1``); a
+:class:`Transport` decides *whether and when*.  The runner collects every
+phase's envelopes — correct traffic first, in ascending pid order, then
+the adversary's — and hands the batch to the transport, which returns the
+next phase's inboxes and may record ``fault`` events for anything it did
+to the traffic along the way.
+
+:class:`LockstepTransport` is the perfect network: it reproduces the
+seed routing byte for byte (the equivalence tests in ``tests/transport``
+pin this against both ``_route_sorted`` and ``_route_merged``).
+:class:`~repro.transport.faulty.FaultyTransport` decorates any base
+transport with a :class:`~repro.transport.faults.FaultPlan`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+from repro.core.message import Envelope
+from repro.core.types import ProcessorId
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Owns message delivery for one run at a time.
+
+    The runner drives the lifecycle: one :meth:`begin_run`, then one
+    :meth:`deliver` per phase (with :meth:`drain_faults` after each),
+    then one :meth:`end_run`.  Implementations may keep per-run state
+    (delayed messages, fault counters); ``begin_run`` must reset it so a
+    transport instance can be reused across sequential runs.
+    """
+
+    def begin_run(
+        self, *, n: int, num_phases: int, correct: frozenset[ProcessorId]
+    ) -> None:
+        """Reset per-run state; called once before phase 1."""
+        ...
+
+    def deliver(
+        self, phase: int, sent: list[Envelope], correct_count: int
+    ) -> dict[ProcessorId, list[Envelope]]:
+        """Route the envelopes sent in *phase* into phase ``phase + 1``
+        inboxes (each inbox sorted by source).
+
+        The first *correct_count* envelopes of *sent* were produced by
+        iterating correct processors in ascending pid order — the
+        precondition the merge-based routing exploits.
+        """
+        ...
+
+    def drain_faults(self) -> list[dict[str, Any]]:
+        """Fault events recorded since the last drain (empty when clean)."""
+        ...
+
+    def end_run(self, final_phase: int) -> list[dict[str, Any]]:
+        """Close the run; returns events for anything still in flight."""
+        ...
+
+
+class LockstepTransport:
+    """The perfect synchronous network — byte-identical to the seed routing.
+
+    *delivery* selects the routing strategy exactly like the runner's
+    ``delivery=`` keyword: ``"merged"`` (linear merge, the optimised
+    default) or ``"sorted"`` (the reference per-inbox sort).  Both produce
+    identical inboxes; the transport exists so faulty decorators and
+    future asynchronous backends have a seam to plug into.
+
+    Stateless, so one instance is safely shared across runs (and across
+    threads, for what the lock-step runner cares).
+    """
+
+    __slots__ = ("_route_sorted",)
+
+    def __init__(self, delivery: str = "merged") -> None:
+        if delivery not in ("merged", "sorted"):
+            raise ValueError(
+                f"unknown delivery strategy {delivery!r}; expected 'merged' or 'sorted'"
+            )
+        self._route_sorted = delivery == "sorted"
+
+    def begin_run(
+        self, *, n: int, num_phases: int, correct: frozenset[ProcessorId]
+    ) -> None:
+        """Nothing to reset — the perfect network is stateless."""
+
+    def deliver(
+        self, phase: int, sent: list[Envelope], correct_count: int
+    ) -> dict[ProcessorId, list[Envelope]]:
+        """Route everything, losing nothing: the paper's synchronous model."""
+        from repro.core.runner import _route_merged, _route_sorted
+
+        if self._route_sorted:
+            return _route_sorted(sent)
+        return _route_merged(sent, correct_count)
+
+    def drain_faults(self) -> list[dict[str, Any]]:
+        """A perfect network records no faults."""
+        return []
+
+    def end_run(self, final_phase: int) -> list[dict[str, Any]]:
+        """Nothing in flight: lock-step delivery never buffers."""
+        return []

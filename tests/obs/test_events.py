@@ -20,10 +20,21 @@ from repro.obs.events import jsonable, safe_digest
 
 class TestListSink:
     def test_collects_all_event_kinds(self):
+        # A crash fault is needed to exercise the full vocabulary: plain
+        # runs never emit 'fault' events.
+        from repro.transport import CrashFault, FaultPlan, FaultyTransport
+
+        sink = ListSink()
+        transport = FaultyTransport(FaultPlan(faults=(CrashFault(pid=2, phase=1),)))
+        run(DolevStrong(4, 1), 1, sinks=(sink,), transport=transport)
+        kinds = {event["event"] for event in sink.events}
+        assert kinds == set(EVENT_KINDS)
+
+    def test_plain_run_emits_every_kind_but_fault(self):
         sink = ListSink()
         run(DolevStrong(4, 1), 1, sinks=(sink,))
         kinds = {event["event"] for event in sink.events}
-        assert kinds == set(EVENT_KINDS)
+        assert kinds == set(EVENT_KINDS) - {"fault"}
 
     def test_first_event_is_schema_versioned_run_start(self):
         sink = ListSink()

@@ -341,3 +341,97 @@ class TestBenchCommand:
         assert cases["sweep:algorithm-3:grid"]["scenarios_per_sec"] > 0
         out = capsys.readouterr().out
         assert "bench" in out.lower() or str(output) in out
+
+
+class TestFaultInjectionCli:
+    def test_run_with_faults_reports_excused(self, capsys):
+        code = main(
+            ["run", "--algorithm", "dolev-strong", "--n", "6", "--t", "2",
+             "--faults", "crash:2@1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "excused: [2]" in out
+        assert "Byzantine Agreement holds (excused: [2])" in out
+
+    def test_run_fault_events_land_in_the_trace(self, capsys, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        assert main(
+            ["run", "--algorithm", "dolev-strong", "--n", "6", "--t", "2",
+             "--faults", "crash:2@1", "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        events = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        ]
+        faults = [e for e in events if e["event"] == "fault"]
+        assert faults
+        assert all(e["fault_schema"] == "repro-fault/1" for e in faults)
+        # repro inspect attributes the divergence to the injection.
+        assert main(["inspect", str(trace)]) == 0
+        inspect_out = capsys.readouterr().out
+        assert "injected" in inspect_out and "excusing [2]" in inspect_out
+
+    def test_run_bad_fault_spec_exits_2(self, capsys):
+        code = main(
+            ["run", "--algorithm", "dolev-strong", "--n", "6", "--t", "2",
+             "--faults", "gremlin:1"]
+        )
+        assert code == 2
+        assert "unknown fault clause" in capsys.readouterr().err
+
+    def test_fuzz_chaos_mode_smoke(self, capsys):
+        code = main(
+            ["fuzz", "--algorithm", "dolev-strong", "--fault-rate", "0.5",
+             "--budget", "5", "--seed", "0", "--workers", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos fault-rate=0.5" in out
+        assert "benign" in out
+        assert "0 failing" in out
+
+    def test_fuzz_fault_rate_validated(self, capsys):
+        code = main(
+            ["fuzz", "--algorithm", "dolev-strong", "--fault-rate", "1.5",
+             "--budget", "1", "--workers", "1"]
+        )
+        assert code == 2
+        assert "--fault-rate" in capsys.readouterr().err
+
+    def test_fuzz_checkpoint_completes_and_cleans_up(self, capsys, tmp_path):
+        ckpt = tmp_path / "campaign.ckpt"
+        code = main(
+            ["fuzz", "--algorithm", "dolev-strong", "--budget", "4",
+             "--seed", "0", "--workers", "1", "--checkpoint", str(ckpt)]
+        )
+        assert code == 0
+        assert not ckpt.exists()
+
+
+class TestReplayErrorHandling:
+    def test_replay_missing_file_is_a_clear_error(self, capsys):
+        code = main(["fuzz", "--replay", "/no/such/corpus.json"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot read corpus file" in err
+
+    def test_replay_corrupt_json_is_a_clear_error(self, capsys, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main(["fuzz", "--replay", str(path)]) == 2
+        assert "corrupt corpus file" in capsys.readouterr().err
+
+    def test_replay_wrong_schema_is_a_clear_error(self, capsys, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text('{"schema": "not-a-corpus/9"}', encoding="utf-8")
+        assert main(["fuzz", "--replay", str(path)]) == 2
+        assert "corrupt corpus file" in capsys.readouterr().err
+
+    def test_replay_missing_fields_is_a_clear_error(self, capsys, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"schema": "repro-fuzz/1"}', encoding="utf-8")
+        assert main(["fuzz", "--replay", str(path)]) == 2
+        assert "corrupt corpus file" in capsys.readouterr().err

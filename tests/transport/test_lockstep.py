@@ -1,0 +1,58 @@
+"""LockstepTransport: the perfect network, byte-identical to the inline path."""
+
+import pytest
+
+from repro.core.message import Envelope
+from repro.core.runner import _route_merged, _route_sorted
+from repro.transport import FaultPlan, FaultyTransport, LockstepTransport, Transport
+
+
+def envelopes():
+    """Correct-prefix traffic (src-sorted per destination) plus adversary
+    sends, mirroring what the runner hands the transport."""
+    correct = [
+        Envelope(src=src, dst=dst, phase=1, payload=f"c{src}->{dst}")
+        for src in (0, 1, 2)
+        for dst in (0, 1, 2, 3)
+    ]
+    adversary = [
+        Envelope(src=3, dst=0, phase=1, payload="a3->0"),
+        Envelope(src=3, dst=2, phase=1, payload="a3->2"),
+    ]
+    return correct + adversary, len(correct)
+
+
+class TestLockstepTransport:
+    def test_satisfies_the_transport_protocol(self):
+        assert isinstance(LockstepTransport(), Transport)
+        assert isinstance(FaultyTransport(FaultPlan()), Transport)
+
+    def test_merged_matches_route_merged(self):
+        sent, correct_count = envelopes()
+        transport = LockstepTransport()
+        transport.begin_run(n=4, num_phases=2, correct=frozenset({0, 1, 2}))
+        assert transport.deliver(1, list(sent), correct_count) == _route_merged(
+            list(sent), correct_count
+        )
+
+    def test_sorted_matches_route_sorted(self):
+        sent, correct_count = envelopes()
+        transport = LockstepTransport(delivery="sorted")
+        transport.begin_run(n=4, num_phases=2, correct=frozenset({0, 1, 2}))
+        assert transport.deliver(1, list(sent), correct_count) == _route_sorted(
+            list(sent)
+        )
+
+    def test_merged_equals_sorted(self):
+        sent, correct_count = envelopes()
+        assert _route_merged(list(sent), correct_count) == _route_sorted(list(sent))
+
+    def test_unknown_delivery_rejected(self):
+        with pytest.raises(ValueError, match="delivery"):
+            LockstepTransport(delivery="chaotic")
+
+    def test_stateless_lifecycle(self):
+        transport = LockstepTransport()
+        transport.begin_run(n=3, num_phases=1, correct=frozenset({0, 1, 2}))
+        assert transport.drain_faults() == []
+        assert transport.end_run(1) == []
