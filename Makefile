@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint lint-protocol lint-baseline check bench bench-compare benchmarks fuzz fuzz-smoke chaos-smoke docs-check
+.PHONY: test lint lint-protocol lint-baseline check bench bench-compare bench-batch benchmarks fuzz fuzz-smoke chaos-smoke docs-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -31,6 +31,13 @@ bench:
 bench-compare:
 	PYTHONPATH=src $(PYTHON) -m repro bench --output /tmp/bench_current.json
 	PYTHONPATH=src $(PYTHON) scripts/bench_compare.py BENCH_runner.json /tmp/bench_current.json
+
+# Batch-engine perf gate: every batch:* case must reach 10x the
+# messages/sec of its scalar runner baseline (same-machine ratio).
+bench-batch:
+	PYTHONPATH=src $(PYTHON) -m repro bench --output /tmp/bench_current.json
+	PYTHONPATH=src $(PYTHON) scripts/bench_compare.py BENCH_runner.json /tmp/bench_current.json \
+		--min-batch-speedup 10
 
 # Documentation gate: links resolve, JSON examples parse, and the
 # worked `$ repro ...` examples in docs/telemetry.md actually run.

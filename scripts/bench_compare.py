@@ -4,19 +4,35 @@
 Usage::
 
     python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+        [--min-batch-speedup 5] [--update]
 
-Cases are matched by key; a case is a *regression* when its current
-wall-clock exceeds the baseline by more than ``--threshold`` (a fraction:
-0.25 means 25% slower).  Cases present in only one file are reported but
-never fail the comparison — the basket is allowed to grow.
+Cases are matched by key and printed **worst delta first**; a case is a
+*regression* when its current wall-clock exceeds the baseline by more
+than ``--threshold`` (a fraction: 0.25 means 25% slower).  Cases present
+in only one file are reported but never fail the comparison — the basket
+is allowed to grow.
 
-Exit code 0 means no regression, 1 means at least one case regressed,
-2 means the inputs could not be read or are not bench JSONs.
+``--min-batch-speedup X`` additionally gates the batch engine: every
+``batch:*`` case in the *current* file must move at least ``X`` times the
+messages/sec of the scalar ``runner:*`` case it names as
+``baseline_case`` (both rates come from the same file, so the gate is
+machine-independent).
+
+``--update`` rewrites the baseline file with the current document after
+reporting — use it to re-pin ``BENCH_runner.json`` after an intentional
+perf change.  Wall-clock regressions do not fail an update run (that is
+the point of re-pinning); a ``--min-batch-speedup`` floor violation still
+does.
+
+Exit code 0 means no regression, 1 means at least one case regressed or
+missed the batch floor, 2 means the inputs could not be read or are not
+bench JSONs.
 
 Timing noise caveat: the committed ``BENCH_runner.json`` baseline was
 produced on one specific machine.  Cross-machine comparisons are only
 indicative; regenerate the baseline (``make bench``) when the hardware
-changes, and use a generous threshold in CI smokes.
+changes, and use a generous threshold in CI smokes.  The batch-speedup
+floor is a *ratio* within one file and is stable across machines.
 """
 
 from __future__ import annotations
@@ -63,13 +79,19 @@ def compare(baseline: dict, current: dict, threshold: float) -> int:
     only_base = sorted(set(base_cases) - set(curr_cases))
     only_curr = sorted(set(curr_cases) - set(base_cases))
 
-    regressions = []
-    width = max((len(k) for k in shared), default=4)
-    print(f"{'case':<{width}}  {'baseline s':>11}  {'current s':>11}  {'delta':>8}")
+    rows = []
     for key in shared:
         base_s = float(base_cases[key]["seconds"])
         curr_s = float(curr_cases[key]["seconds"])
         delta = (curr_s - base_s) / base_s if base_s else 0.0
+        rows.append((key, base_s, curr_s, delta))
+    # Worst regression first: the case a reader needs to see is on top.
+    rows.sort(key=lambda row: row[3], reverse=True)
+
+    regressions = []
+    width = max((len(k) for k in shared), default=4)
+    print(f"{'case':<{width}}  {'baseline s':>11}  {'current s':>11}  {'delta':>8}")
+    for key, base_s, curr_s, delta in rows:
         flag = ""
         if delta > threshold:
             regressions.append((key, delta))
@@ -92,6 +114,50 @@ def compare(baseline: dict, current: dict, threshold: float) -> int:
     return 0
 
 
+def check_batch_floor(document: dict, minimum: float) -> int:
+    """Gate every ``batch:*`` case at *minimum*× its scalar baseline rate.
+
+    Both rates come from *document* itself, so the check is a same-machine
+    ratio.  A batch case whose ``baseline_case`` is absent, or whose rate
+    (or the baseline's) is missing, fails loudly rather than passing
+    silently.
+    """
+    cases = document["cases"]
+    batch_keys = sorted(key for key in cases if str(key).startswith("batch:"))
+    if not batch_keys:
+        print(f"batch floor: no batch:* cases found (need >= {minimum:g}x)")
+        return 1
+    failures = 0
+    for key in batch_keys:
+        case = cases[key]
+        ref_key = case.get("baseline_case")
+        ref = cases.get(ref_key) if ref_key else None
+        batch_rate = case.get("messages_per_sec")
+        ref_rate = ref.get("messages_per_sec") if ref else None
+        if not batch_rate or not ref_rate:
+            print(f"{key}: cannot compute speedup vs {ref_key!r}  << FLOOR FAIL")
+            failures += 1
+            continue
+        speedup = float(batch_rate) / float(ref_rate)
+        flag = ""
+        if speedup < minimum:
+            failures += 1
+            flag = "  << FLOOR FAIL"
+        print(
+            f"{key}: {float(batch_rate):,.0f} msgs/s vs {ref_key} "
+            f"{float(ref_rate):,.0f} msgs/s = {speedup:.1f}x "
+            f"(floor {minimum:g}x){flag}"
+        )
+    if failures:
+        print(
+            f"\nFAIL: {failures} batch case(s) under the {minimum:g}x "
+            f"messages/sec floor"
+        )
+        return 1
+    print(f"\nOK: all {len(batch_keys)} batch case(s) at >= {minimum:g}x scalar")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline bench JSON (e.g. BENCH_runner.json)")
@@ -102,10 +168,37 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="allowed slowdown fraction before failing (default: 0.25)",
     )
+    parser.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="require every batch:* case in CURRENT to reach X times the "
+        "messages/sec of its baseline_case runner (same-file ratio)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite BASELINE with CURRENT after reporting (regressions do "
+        "not fail an update; a batch floor violation still does)",
+    )
     args = parser.parse_args(argv)
     baseline = load_bench(args.baseline)
     current = load_bench(args.current)
-    return compare(baseline, current, args.threshold)
+    exit_code = compare(baseline, current, args.threshold)
+    if args.min_batch_speedup is not None:
+        print()
+        floor_code = check_batch_floor(current, args.min_batch_speedup)
+        exit_code = max(exit_code, floor_code)
+    else:
+        floor_code = 0
+    if args.update:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\nupdated {args.baseline} from {args.current}")
+        exit_code = floor_code
+    return exit_code
 
 
 if __name__ == "__main__":

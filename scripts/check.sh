@@ -49,13 +49,17 @@ fi
 # so the smoke uses a generous threshold (override: PERF_SMOKE_THRESHOLD).
 # The basket runs fault-free, so this also pins the transport fast path:
 # routing through the Transport layer must stay within the committed
-# BENCH_runner.json envelope.
+# BENCH_runner.json envelope.  The batch engine is additionally held to a
+# same-machine floor: every batch:* case must move at least
+# BATCH_SMOKE_SPEEDUP (default 5) times the messages/sec of its scalar
+# runner baseline — a *ratio* within one run, so it is noise-tolerant.
 if [ -f BENCH_runner.json ] && [ "${PERF_SMOKE:-1}" != "0" ]; then
     echo "== perf smoke =="
     current="$(mktemp /tmp/bench_current.XXXXXX.json)"
     if PYTHONPATH=src python -m repro bench --output "$current" >/dev/null; then
         PYTHONPATH=src python scripts/bench_compare.py BENCH_runner.json "$current" \
-            --threshold "${PERF_SMOKE_THRESHOLD:-0.5}" || status=1
+            --threshold "${PERF_SMOKE_THRESHOLD:-0.5}" \
+            --min-batch-speedup "${BATCH_SMOKE_SPEEDUP:-5}" || status=1
     else
         echo "perf smoke: repro bench failed"
         status=1

@@ -38,8 +38,14 @@ from repro.algorithms.base import (
     Processor,
     input_value_from,
 )
+from repro.core.batch import (
+    BatchOutcome,
+    kernel_agreement_ok,
+    kernel_value_table,
+    register_batch_kernel,
+)
 from repro.core.errors import ConfigurationError
-from repro.core.message import Envelope, Outgoing
+from repro.core.message import Envelope, Outgoing, UninternableError
 from repro.core.types import ProcessorId, Value
 
 
@@ -203,3 +209,88 @@ def _factorial(x: int) -> int:
     for i in range(2, x + 1):
         result *= i
     return result
+
+
+@register_batch_kernel("oral-messages")
+def _oral_messages_batch_kernel(
+    algorithm: AgreementAlgorithm, values: Sequence[Value]
+) -> list[BatchOutcome] | None:
+    """Vectorised fault-free OM(t) over ``(runs, values)`` vote arrays.
+
+    Fault-free, every EIG subtree resolves to the broadcast value, so each
+    non-transmitter's root resolution is a majority over its ``n − 1``
+    root-child votes — computed here as one numpy bincount/argmax per run
+    (ties resolve to the default, exactly as :meth:`_resolve` does).  The
+    message schedule is closed-form: computed with exact Python integers
+    (the path counts overflow int64 fast) matching
+    :meth:`OralMessages.upper_bound_messages` phase by phase, which
+    fault-free executions attain.  Declines (``None``) on subclasses,
+    missing numpy, uninternable values, or ``None`` inputs.
+    """
+    if type(algorithm) is not OralMessages:
+        return None
+    if any(value is None for value in values):
+        return None
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is part of the toolchain
+        return None
+    try:
+        table, indices, default_index = kernel_value_table(
+            values, algorithm.default
+        )
+    except UninternableError:
+        return None
+
+    n, t = algorithm.n, algorithm.t
+    runs, width = len(values), len(table)
+    index_array = np.asarray(indices, dtype=np.int64)
+    # Root-majority vote: n − 1 root children per lieutenant, all carrying
+    # the broadcast value.  Ties (impossible with a real vote, but kept for
+    # shape-faithfulness) fall back to the default, as _resolve does.
+    votes = np.zeros((runs, width), dtype=np.int64)
+    votes[np.arange(runs), index_array] = n - 1
+    best = votes.max(axis=1)
+    tie = (votes == best[:, None]).sum(axis=1) > 1
+    resolved = np.where(tie, default_index, votes.argmax(axis=1))
+    if n == 1:  # a lone transmitter never votes; it decides its own value
+        resolved = index_array
+
+    # Exact fault-free message schedule (== upper_bound_messages, phase by
+    # phase): at phase k each of the n − 1 lieutenants relays its
+    # comb(n−2, k−2)·(k−2)! held paths to the n − k off-path processors.
+    per_phase: list[tuple[int, int]] = []
+    if n > 1:
+        per_phase.append((1, n - 1))
+    for k in range(2, t + 2):
+        paths = comb(n - 2, k - 2) * _factorial(k - 2)
+        count = (n - 1) * paths * (n - k)
+        if count > 0:
+            per_phase.append((k, count))
+    total = sum(count for _, count in per_phase)
+    phases_used = max((phase for phase, _ in per_phase), default=0)
+
+    outcomes: list[BatchOutcome] = []
+    for row in range(runs):
+        value = table[int(resolved[row])]
+        decisions = {pid: value for pid in range(n)}
+        decisions[algorithm.transmitter] = values[row]
+        outcomes.append(
+            BatchOutcome(
+                decisions=tuple(sorted(decisions.items())),
+                messages_by_correct=total,
+                messages_by_faulty=0,
+                signatures_by_correct=0,
+                signatures_by_faulty=0,
+                phases_used=phases_used,
+                phases_configured=algorithm.num_phases(),
+                messages_per_phase=tuple(per_phase),
+                signatures_per_phase=tuple(
+                    (phase, 0) for phase, _ in per_phase
+                ),
+                agreement_ok=kernel_agreement_ok(
+                    algorithm, values[row], decisions
+                ),
+            )
+        )
+    return outcomes

@@ -480,6 +480,9 @@ def sweep_parallel(
     task_timeout: float | None = None,
     max_retries: int = 2,
     checkpoint: str | Path | None = None,
+    batch: bool = False,
+    batch_strict: bool = False,
+    shared_results: bool = False,
 ) -> list[SweepPoint]:
     """Drop-in parallel :func:`~repro.analysis.sweep.sweep`.
 
@@ -491,9 +494,38 @@ def sweep_parallel(
     the file set is identical for any worker count).  *task_timeout*,
     *max_retries* and *checkpoint* are the self-healing knobs of
     :func:`run_tasks`.
+
+    ``batch=True`` routes the grid through the batch engine
+    (:mod:`repro.analysis.batchsweep`): same-factory scenarios share one
+    arena, repeated run classes execute once, and workers run whole
+    stripes instead of per-scenario chunks — same points, same order.
+    *batch_strict* re-checks every unique batch run against the scalar
+    runner; *shared_results* (batch only) moves result counters through
+    shared memory instead of pickling point lists.  *checkpoint* is
+    incompatible with *batch* (stripes are not the chunk layout the
+    checkpoint fingerprint covers).
     """
+    if shared_results and not batch:
+        raise ValueError("shared_results requires batch=True")
+    specs = expand(configurations, values, adversaries, trace_dir=trace_dir)
+    if batch:
+        if checkpoint is not None:
+            raise ValueError(
+                "checkpoint is not supported with batch=True: batch stripes "
+                "do not match the checkpoint's chunk fingerprinting"
+            )
+        from repro.analysis.batchsweep import run_specs_batched
+
+        return run_specs_batched(
+            specs,
+            workers=workers,
+            strict=batch_strict,
+            shared_results=shared_results,
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+        )
     return run_specs(
-        expand(configurations, values, adversaries, trace_dir=trace_dir),
+        specs,
         workers=workers,
         chunk_size=chunk_size,
         task_timeout=task_timeout,

@@ -407,6 +407,28 @@ BENCH_BASKET_QUICK: tuple[tuple[str, int, int], ...] = (
     ("phase-king", 16, 2),
 )
 
+#: Batch-engine throughput cases: ``(name, n, t, runs)``.  Each runs a
+#: whole seed sweep (alternating 0/1 inputs) through
+#: :func:`repro.core.batch.run_batch` in one process; ``baseline_case``
+#: in the emitted JSON names the scalar ``runner:`` case the speedup is
+#: measured against (``scripts/bench_compare.py --min-batch-speedup``).
+BENCH_BATCH: tuple[tuple[str, int, int, int], ...] = (
+    ("algorithm-3", 120, 2, 256),
+    ("algorithm-5", 120, 2, 64),
+    # The kernel-backed cases get big run counts: their per-run cost is so
+    # small that anything less is a sub-millisecond timing target, which
+    # makes the wall-clock regression check needlessly noisy.
+    ("phase-king", 24, 2, 4096),
+    ("oral-messages", 11, 2, 4096),
+)
+
+BENCH_BATCH_QUICK: tuple[tuple[str, int, int, int], ...] = (
+    ("algorithm-3", 60, 2, 128),
+    ("algorithm-5", 60, 2, 32),
+    ("phase-king", 16, 2, 2048),
+    ("oral-messages", 9, 2, 2048),
+)
+
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time the fixed scenario basket and write a ``BENCH_*.json`` point.
@@ -420,11 +442,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from functools import partial
 
     from repro.analysis.parallel import default_workers, expand, run_specs
+    from repro.core.batch import run_batch
 
     workers = args.workers if args.workers is not None else default_workers()
     repeat = max(1, args.repeat)
     basket = BENCH_BASKET_QUICK if args.quick else BENCH_BASKET
+    batch_basket = BENCH_BATCH_QUICK if args.quick else BENCH_BATCH
     cases: dict[str, dict[str, object]] = {}
+
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
 
     for name, n, t in basket:
         info = get(name)
@@ -444,6 +475,46 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "messages": messages,
             "messages_per_sec": round(messages / seconds, 1) if seconds else None,
         }
+
+    # Batch-engine throughput: one whole seed sweep per case, one process.
+    for name, n, t, runs in batch_basket:
+        info = get(name)
+        values = [run % 2 for run in range(runs)]
+        seconds = float("inf")
+        messages = 0
+        stats_json: dict[str, object] = {}
+        for _ in range(repeat):
+            algorithm = info(n, t)
+            started = time.perf_counter()
+            batch = run_batch(algorithm, values)
+            seconds = min(seconds, time.perf_counter() - started)
+            messages = sum(o.messages_by_correct for o in batch.outcomes)
+            stats_json = batch.stats.to_json_dict()
+        cases[f"batch:{name}"] = {
+            "kind": "batch",
+            "n": n,
+            "t": t,
+            "runs": runs,
+            "unique_runs": stats_json.get("unique_runs"),
+            "kernel_runs": stats_json.get("kernel_runs"),
+            "digest_hit_rate": stats_json.get("digest_hit_rate"),
+            "baseline_case": f"runner:{name}",
+            "seconds": round(seconds, 6),
+            "messages": messages,
+            "messages_per_sec": round(messages / seconds, 1) if seconds else None,
+        }
+
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(
+            "repro bench --profile: top-20 cumulative hotspots over the "
+            "runner and batch baskets (sweep case and JSON output skipped)"
+        )
+        return 0
 
     # Large-n sweep throughput: the parallel executor over an E7-style grid.
     sweep_t = 2
@@ -738,6 +809,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--quick", action="store_true",
         help="smaller basket for CI smoke runs",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="run the runner and batch baskets under cProfile and print the "
+        "top-20 cumulative hotspots instead of writing the JSON",
     )
     p_bench.set_defaults(func=cmd_bench)
 

@@ -60,6 +60,12 @@ class CanonicalisationError(TypeError):
 #: Scalar types that are their own canonical form.
 _PRIMITIVES = (bool, int, float, str, bytes)
 
+#: Fast-path accounting for :func:`canonical`: ``fast`` counts tuples that
+#: took the all-primitives shortcut, ``slow`` counts tuples that needed the
+#: per-item recursion.  Monotonic process-wide counters — consumers (the
+#: runner's telemetry) snapshot and diff them around a region of interest.
+CANONICAL_STATS = {"fast": 0, "slow": 0}
+
 
 def canonical(payload: Any) -> Any:
     """Reduce *payload* to a canonical nested-tuple form.
@@ -80,7 +86,9 @@ def canonical(payload: Any) -> Any:
         # hot sign/verify paths) needs no per-item recursion — each item is
         # already its own canonical form.
         if all(item is None or isinstance(item, _PRIMITIVES) for item in payload):
+            CANONICAL_STATS["fast"] += 1
             return ("tuple", *payload)
+        CANONICAL_STATS["slow"] += 1
         return ("tuple", *(canonical(item) for item in payload))
     if isinstance(payload, list):
         return ("list", *(canonical(item) for item in payload))
@@ -111,6 +119,72 @@ def payload_digest(payload: Any) -> str:
     """
     text = repr(canonical(payload)).encode("utf-8")
     return hashlib.sha256(text).hexdigest()[:16]
+
+
+class UninternableError(TypeError):
+    """Raised by :func:`intern_key` for payloads it cannot key by value."""
+
+
+def intern_key(payload: Any) -> Any:
+    """A hashable, type-tagged mirror of *payload*'s canonical form.
+
+    Two payloads get equal keys **iff** their canonical forms (and hence
+    their :func:`payload_digest`) are equal — unlike raw payloads used as
+    dict keys, where Python's cross-type equalities (``1 == True``,
+    ``1 == 1.0``) would conflate values whose digests differ.  The batch
+    engine uses these keys for its shared digest table and for run-class
+    deduplication.
+
+    Floats are keyed by ``repr`` (the digest is a function of the repr, so
+    ``0.0`` and ``-0.0`` stay distinct).  Mutable containers are keyed by
+    their *current* contents — safe here because keys are recomputed on
+    every lookup, never stored against the object.  Payload types outside
+    the canonicalisable set raise :class:`UninternableError` (callers fall
+    back to direct digest computation or skip deduplication).
+    """
+    if payload is None:
+        return None
+    if isinstance(payload, bool):
+        return ("b", payload)
+    if isinstance(payload, int):
+        return ("i", payload)
+    if isinstance(payload, float):
+        return ("f", repr(payload))
+    if isinstance(payload, str):
+        return ("s", payload)
+    if isinstance(payload, bytes):
+        return ("y", payload)
+    if isinstance(payload, Enum):
+        return ("e", type(payload).__qualname__, payload.name)
+    if isinstance(payload, tuple):
+        return ("t", *(intern_key(item) for item in payload))
+    if isinstance(payload, list):
+        return ("l", *(intern_key(item) for item in payload))
+    if isinstance(payload, (frozenset, set)):
+        # Sort by repr (not a frozenset of keys): a set can hold several
+        # NaN objects, and multiplicity must survive into the key exactly
+        # as it survives into the canonical form.
+        return ("fs", *sorted((intern_key(item) for item in payload), key=repr))
+    if isinstance(payload, dict):
+        return (
+            "m",
+            *sorted(
+                ((intern_key(k), intern_key(v)) for k, v in payload.items()),
+                key=repr,
+            ),
+        )
+    if dataclasses.is_dataclass(payload) and not isinstance(payload, type):
+        return (
+            "d",
+            type(payload).__qualname__,
+            *(
+                intern_key(getattr(payload, f.name))
+                for f in dataclasses.fields(payload)
+            ),
+        )
+    raise UninternableError(
+        f"cannot intern payload of type {type(payload).__qualname__}"
+    )
 
 
 def iter_payload_parts(payload: Any) -> Iterator[Any]:

@@ -25,7 +25,7 @@ from repro.core.errors import (
     ProtocolViolationError,
 )
 from repro.core.history import History
-from repro.core.message import Envelope
+from repro.core.message import CANONICAL_STATS, Envelope
 from repro.core.metrics import MetricsLedger, count_signatures
 from repro.core.protocol import AgreementAlgorithm, Context, Processor
 from repro.core.types import INPUT_SOURCE, ProcessorId, Value
@@ -178,6 +178,7 @@ def run(
     sinks: Sequence[EventSink] = (),
     collect_telemetry: bool = False,
     clock: Clock | None = None,
+    service: SignatureService | None = None,
 ) -> RunResult:
     """Execute *algorithm* on *input_value* against *adversary*.
 
@@ -219,6 +220,12 @@ def run(
             :data:`~repro.obs.telemetry.SYSTEM_CLOCK`); inject a
             :class:`~repro.obs.telemetry.TickClock` for deterministic,
             byte-reproducible traces.
+        service: the signature registry for this run; ``None`` (the
+            default) mints a fresh one.  Must be unused and unsealed.
+            The batch engine injects per-run
+            :class:`~repro.crypto.signatures.InternedSignatureService`
+            instances so digest computations are shared across a batch
+            while the issued-signature sets stay strictly per-run.
 
     Returns:
         A :class:`RunResult`.
@@ -261,7 +268,7 @@ def run(
         raise ConfigurationError(f"faulty set {sorted(faulty)} not within range({n})")
     correct = frozenset(range(n)) - faulty
 
-    service = SignatureService()
+    service = service if service is not None else SignatureService()
     processors: dict[ProcessorId, Processor] = {}
     for pid in sorted(correct):
         processor = algorithm.make_processor(pid)
@@ -300,9 +307,14 @@ def run(
     telemetry: RunTelemetry | None = None
     clk = clock if clock is not None else SYSTEM_CLOCK
     run_wall_started = run_cpu_started = 0.0
+    digest_hits_0 = digest_misses_0 = canonical_fast_0 = canonical_slow_0 = 0
     if sinks or collect_telemetry:
         telemetry = RunTelemetry()
         run_wall_started, run_cpu_started = clk.wall(), clk.cpu()
+        digest_hits_0 = service.digest_memo_hits
+        digest_misses_0 = service.digest_memo_misses
+        canonical_fast_0 = CANONICAL_STATS["fast"]
+        canonical_slow_0 = CANONICAL_STATS["slow"]
 
     metrics = MetricsLedger(phases_configured=algorithm.num_phases())
     history = History.with_input(algorithm.transmitter, input_value)
@@ -468,6 +480,10 @@ def run(
     if telemetry is not None:
         telemetry.wall_s = clk.wall() - run_wall_started
         telemetry.cpu_s = clk.cpu() - run_cpu_started
+        telemetry.digest_memo_hits = service.digest_memo_hits - digest_hits_0
+        telemetry.digest_memo_misses = service.digest_memo_misses - digest_misses_0
+        telemetry.canonical_fast_hits = CANONICAL_STATS["fast"] - canonical_fast_0
+        telemetry.canonical_slow_hits = CANONICAL_STATS["slow"] - canonical_slow_0
     if sinks:
         for pid in sorted(correct):
             _emit(

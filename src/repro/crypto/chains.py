@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.core.message import UninternableError, intern_key
 from repro.core.types import ProcessorId, Value
 from repro.crypto.signatures import Signature, SignatureService, SigningKey
 
@@ -79,7 +80,17 @@ class SignatureChain:
 
         With ``distinct=True`` (the default, and what every algorithm in the
         paper requires) a repeated signer also invalidates the chain.
+
+        Services that cache chain verdicts (the batch engine's per-run
+        :class:`~repro.crypto.signatures.InternedSignatureService`) answer
+        repeated verifications of an equal chain in O(1); the default
+        service always walks every link.
         """
+        key = None
+        if service.caches_chain_verdicts:
+            key = self._verdict_key(distinct)
+            if key is not None and service.chain_verdict_seen(key):
+                return True
         if distinct and len(set(self.signers)) != len(self.signatures):
             return False
         prefix: tuple[Signature, ...] = ()
@@ -87,7 +98,26 @@ class SignatureChain:
             if not service.verify(signature, chain_body(self.value, prefix)):
                 return False
             prefix = prefix + (signature,)
+        if key is not None:
+            service.chain_verdict_add(key)
         return True
+
+    def _verdict_key(self, distinct: bool) -> Any | None:
+        """Value-equality cache key for this chain's verification verdict.
+
+        ``None`` when the value cannot be interned — such chains are simply
+        never cached.  Signatures are flattened to ``(signer, digest)``
+        pairs, the exact data :meth:`verify` consults.
+        """
+        try:
+            value_key = intern_key(self.value)
+        except UninternableError:
+            return None
+        return (
+            distinct,
+            value_key,
+            tuple((sig.signer, sig.digest) for sig in self.signatures),
+        )
 
     def verify_prefix_signers(
         self,

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.errors import ForgeryError
-from repro.core.message import payload_digest
+from repro.core.message import UninternableError, intern_key, payload_digest
 from repro.core.types import ProcessorId
 
 
@@ -84,6 +84,11 @@ class SignatureService:
     #: across a very long sweep must not grow without bound.
     _DIGEST_MEMO_MAX = 1 << 16
 
+    #: Whether :meth:`chain_verdict_seen` can ever answer ``True`` — lets
+    #: :meth:`repro.crypto.chains.SignatureChain.verify` skip building a
+    #: cache key entirely against this (the default) service.
+    caches_chain_verdicts = False
+
     def __init__(self) -> None:
         self._issued: set[tuple[ProcessorId, str]] = set()
         self._keys: dict[ProcessorId, SigningKey] = {}
@@ -96,6 +101,11 @@ class SignatureService:
         #: alive, which is what makes keying on ``id`` sound — a memoised id
         #: can never be recycled for a different object.
         self._digest_memo: dict[int, tuple[Any, str]] = {}
+        #: Memo accounting: a *hit* answered from a memo (identity or, for
+        #: the batch service, the shared value-keyed table); a *miss* paid
+        #: the full canonical-walk-plus-hash computation.
+        self.digest_memo_hits = 0
+        self.digest_memo_misses = 0
 
     # ------------------------------------------------------------------ keys
 
@@ -141,12 +151,30 @@ class SignatureService:
         key = id(payload)
         hit = self._digest_memo.get(key)
         if hit is not None and hit[0] is payload:
+            self.digest_memo_hits += 1
             return hit[1]
+        self.digest_memo_misses += 1
         digest = payload_digest(payload)
         if len(self._digest_memo) >= self._DIGEST_MEMO_MAX:
             self._digest_memo.clear()
         self._digest_memo[key] = (payload, digest)
         return digest
+
+    # --------------------------------------------------- chain verdict hooks
+
+    def chain_verdict_seen(self, key: Any) -> bool:
+        """Whether a chain with cache key *key* already verified ``True``.
+
+        The base service never caches (see :attr:`caches_chain_verdicts`);
+        the batch engine's :class:`InternedSignatureService` overrides both
+        hooks with a per-run, true-verdicts-only set — sound because the
+        issued-signature set only grows within a run, so a chain that once
+        verified can never stop verifying.
+        """
+        return False
+
+    def chain_verdict_add(self, key: Any) -> None:
+        """Record that a chain with cache key *key* verified ``True``."""
 
     # --------------------------------------------------------------- signing
 
@@ -233,3 +261,100 @@ class SignatureService:
         copy = SignatureService()
         copy._issued = set(self._issued)
         return copy
+
+
+class SharedDigestTable:
+    """A value-keyed payload-digest memo shared across many runs.
+
+    The per-service identity memo only helps when the *same object* is
+    digested twice; protocols that rebuild equal payloads (signature
+    chains reconstruct their link bodies on every verification) defeat it
+    entirely.  This table keys on :func:`~repro.core.message.intern_key`
+    — a type-tagged mirror of the canonical form — so *equal* payloads
+    share one digest computation across every run of a batch.  The digest
+    is a pure function of the payload's value, which is what makes
+    cross-run sharing sound (unlike signature registries, which are
+    strictly per-run).
+    """
+
+    #: Entry-count backstop: a full table is cleared, not grown.
+    _MAX_ENTRIES = 1 << 18
+
+    __slots__ = ("_digests", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._digests: dict[Any, str] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def digest(self, payload: Any) -> str:
+        """Digest *payload*, answering from the table when possible."""
+        try:
+            key = intern_key(payload)
+        except UninternableError:
+            self.misses += 1
+            return payload_digest(payload)
+        hit = self._digests.get(key)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        digest = payload_digest(payload)
+        if len(self._digests) >= self._MAX_ENTRIES:
+            self._digests.clear()
+        self._digests[key] = digest
+        return digest
+
+    @property
+    def hit_rate(self) -> float | None:
+        """Fraction of lookups answered from the table (``None`` if unused)."""
+        total = self.hits + self.misses
+        return (self.hits / total) if total else None
+
+
+class InternedSignatureService(SignatureService):
+    """A per-run signature registry backed by a shared digest table.
+
+    The batch engine mints one of these per *unique* run: the issued-
+    signature set, the signing keys and the seal are strictly per-run
+    (signatures from one run must never verify in another, and forgeries
+    must keep failing), while digest computations — pure functions of
+    payload values — are shared through *table* across the whole batch.
+
+    It also caches chain verdicts (see
+    :meth:`SignatureService.chain_verdict_seen`) — per run, true verdicts
+    only, so a ``False`` caused by a not-yet-issued signature can still
+    flip to ``True`` later in the run.
+    """
+
+    caches_chain_verdicts = True
+
+    def __init__(self, table: SharedDigestTable) -> None:
+        super().__init__()
+        self._table = table
+        self._chain_verdicts: set[Any] = set()
+
+    def _digest(self, payload: Any) -> str:
+        key = id(payload)
+        hit = self._digest_memo.get(key)
+        if hit is not None and hit[0] is payload:
+            self.digest_memo_hits += 1
+            return hit[1]
+        before = self._table.hits
+        digest = self._table.digest(payload)
+        if self._table.hits > before:
+            self.digest_memo_hits += 1
+        else:
+            self.digest_memo_misses += 1
+        if len(self._digest_memo) >= self._DIGEST_MEMO_MAX:
+            self._digest_memo.clear()
+        self._digest_memo[key] = (payload, digest)
+        return digest
+
+    def chain_verdict_seen(self, key: Any) -> bool:
+        """True iff an equal chain already verified in *this* run."""
+        return key in self._chain_verdicts
+
+    def chain_verdict_add(self, key: Any) -> None:
+        """Remember a successful verification for the rest of this run."""
+        self._chain_verdicts.add(key)

@@ -315,6 +315,15 @@ def render_summary(summary: TraceSummary) -> str:
             f"cpu {summary.telemetry.get('cpu_s')}s over "
             f"{len(summary.telemetry.get('per_phase', []))} phases"
         )
+        if "digest_memo_hits" in summary.telemetry:
+            out.append(
+                f"caches    : digest memo "
+                f"{summary.telemetry.get('digest_memo_hits')} hit / "
+                f"{summary.telemetry.get('digest_memo_misses')} miss, "
+                f"canonical fast path "
+                f"{summary.telemetry.get('canonical_fast_hits')} fast / "
+                f"{summary.telemetry.get('canonical_slow_hits')} slow"
+            )
     errors = summary.consistency_errors()
     if errors:
         out.append("consistency: FAILED")

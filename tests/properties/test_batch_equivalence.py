@@ -1,0 +1,91 @@
+"""Property suite: the batch engine is observationally equal to the runner.
+
+``run_batch(strict=True)`` re-executes every unique run class through the
+scalar runner and raises on *any* difference in decisions or metrics —
+so these properties simply drive strict batches across the full algorithm
+zoo, both delivery strategies, value streams that mix ``0``/``1``/``True``
+(type-punning dict keys), and seeded benign fault plans.  A silent pass
+means byte-identical outcomes; kernels (``phase-king``,
+``oral-messages``) and the dedup/digest-sharing machinery are all under
+the same gate.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import ALGORITHMS
+from repro.core.batch import BatchCase, run_batch
+from repro.transport.faults import random_plan
+
+#: One pinned small configuration per registry algorithm (the zoo).
+ZOO = [
+    ("dolev-strong", 5, 2),
+    ("active-set", 5, 2),
+    ("oral-messages", 7, 2),
+    ("algorithm-1", 5, 2),
+    ("algorithm-2", 5, 2),
+    ("algorithm-3", 9, 2),
+    ("algorithm-5", 9, 1),
+    ("informed-algorithm-2", 9, 2),
+    ("phase-king", 9, 2),
+]
+
+
+def build(name: str, n: int, t: int):
+    return ALGORITHMS[name](n, t)
+
+
+values_streams = st.lists(
+    st.sampled_from([0, 1, True]), min_size=1, max_size=8
+)
+
+
+class TestStrictEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(values=values_streams, delivery=st.sampled_from(["merged", "sorted"]))
+    def test_every_zoo_algorithm_matches_the_scalar_runner(
+        self, values, delivery
+    ):
+        for name, n, t in ZOO:
+            result = run_batch(
+                build(name, n, t), values, strict=True, delivery=delivery
+            )
+            assert result.stats.runs == len(values)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2**16), value=st.sampled_from([0, 1]))
+    def test_fault_plan_runs_match_the_scalar_runner(self, seed, value):
+        for name, n, t in (("dolev-strong", 5, 2), ("phase-king", 9, 2)):
+            algorithm = build(name, n, t)
+            plan = random_plan(
+                seed,
+                n=n,
+                t=t,
+                num_phases=algorithm.num_phases(),
+                rate=0.3,
+            )
+            cases = [BatchCase(value=value, fault_plan=plan)] * 3
+            result = run_batch(algorithm, cases, strict=True)
+            # The plan is a frozen value object, so the class dedupes.
+            assert result.stats.unique_runs == 1
+            assert result.stats.replicated_runs == 2
+
+    @settings(max_examples=6, deadline=None)
+    @given(values=values_streams)
+    def test_kernel_and_scalar_agree_when_both_forced(self, values):
+        # Run the kernel algorithms once normally (kernel path) and once
+        # with the kernel disabled (scalar path): same outcomes.
+        from repro.core import batch as batch_module
+
+        for name, n, t in (("phase-king", 9, 2), ("oral-messages", 7, 2)):
+            with_kernel = run_batch(build(name, n, t), values, strict=True)
+            saved = batch_module._KERNELS.pop(name)
+            try:
+                without = run_batch(build(name, n, t), values, strict=True)
+            finally:
+                batch_module._KERNELS[name] = saved
+            assert [o.comparable() for o in with_kernel.outcomes] == [
+                o.comparable() for o in without.outcomes
+            ]
+            assert with_kernel.stats.kernel_runs > 0
+            assert without.stats.kernel_runs == 0

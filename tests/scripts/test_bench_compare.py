@@ -91,3 +91,87 @@ class TestMain:
         with pytest.raises(SystemExit) as excinfo:
             bench_compare.main([bogus, current])
         assert excinfo.value.code == 2
+
+
+def batch_doc(*, batch_rate=1000.0, runner_rate=100.0, seconds=1.0, quick=False):
+    """A bench doc with one batch case wired to its runner baseline."""
+    return {
+        "schema": "repro-bench/1",
+        "workers": 1,
+        "repeat": 3,
+        "quick": quick,
+        "cases": {
+            "runner:a": {
+                "kind": "runner",
+                "seconds": seconds,
+                "messages_per_sec": runner_rate,
+            },
+            "batch:a": {
+                "kind": "batch",
+                "seconds": seconds,
+                "baseline_case": "runner:a",
+                "messages_per_sec": batch_rate,
+            },
+        },
+    }
+
+
+class TestWorstFirstOrdering:
+    def test_rows_are_sorted_by_delta_descending(self, capsys):
+        baseline = bench_doc({"runner:a": 1.0, "runner:b": 1.0, "runner:c": 1.0})
+        current = bench_doc({"runner:a": 1.1, "runner:b": 2.0, "runner:c": 0.5})
+        bench_compare.compare(baseline, current, threshold=10.0)
+        lines = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("runner:")
+        ]
+        assert [line.split()[0] for line in lines] == [
+            "runner:b", "runner:a", "runner:c",
+        ]
+
+
+class TestBatchFloor:
+    def test_floor_met_passes(self, capsys):
+        assert bench_compare.check_batch_floor(batch_doc(), 5.0) == 0
+        assert "10.0x" in capsys.readouterr().out
+
+    def test_floor_missed_fails(self, capsys):
+        assert bench_compare.check_batch_floor(batch_doc(batch_rate=300.0), 5.0) == 1
+        assert "FLOOR FAIL" in capsys.readouterr().out
+
+    def test_missing_baseline_case_fails_loudly(self, capsys):
+        document = batch_doc()
+        del document["cases"]["runner:a"]
+        assert bench_compare.check_batch_floor(document, 5.0) == 1
+        assert "cannot compute" in capsys.readouterr().out
+
+    def test_no_batch_cases_fails(self, capsys):
+        document = bench_doc({"runner:a": 1.0})
+        assert bench_compare.check_batch_floor(document, 5.0) == 1
+        assert "no batch" in capsys.readouterr().out
+
+    def test_main_flag_gates_the_current_file(self, tmp_path):
+        baseline = write(tmp_path, "base.json", batch_doc())
+        good = write(tmp_path, "good.json", batch_doc())
+        slow = write(tmp_path, "slow.json", batch_doc(batch_rate=150.0))
+        assert bench_compare.main([baseline, good, "--min-batch-speedup", "5"]) == 0
+        assert bench_compare.main([baseline, slow, "--min-batch-speedup", "5"]) == 1
+
+
+class TestUpdate:
+    def test_update_rewrites_the_baseline(self, tmp_path):
+        baseline = write(tmp_path, "base.json", bench_doc({"runner:a": 1.0}))
+        current_doc = bench_doc({"runner:a": 5.0})
+        current = write(tmp_path, "curr.json", current_doc)
+        # A 5x regression fails a plain run but not an --update run.
+        assert bench_compare.main([baseline, current]) == 1
+        assert bench_compare.main([baseline, current, "--update"]) == 0
+        assert json.loads(Path(baseline).read_text(encoding="utf-8")) == current_doc
+
+    def test_update_still_fails_on_floor_violation(self, tmp_path):
+        baseline = write(tmp_path, "base.json", batch_doc())
+        current = write(tmp_path, "curr.json", batch_doc(batch_rate=150.0))
+        code = bench_compare.main(
+            [baseline, current, "--update", "--min-batch-speedup", "5"]
+        )
+        assert code == 1

@@ -342,6 +342,44 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "bench" in out.lower() or str(output) in out
 
+    def test_bench_includes_batch_cases(self, capsys, tmp_path):
+        output = tmp_path / "bench.json"
+        assert main(
+            ["bench", "--quick", "--repeat", "1", "--output", str(output)]
+        ) == 0
+        cases = json.loads(output.read_text(encoding="utf-8"))["cases"]
+        batch_cases = {k: v for k, v in cases.items() if k.startswith("batch:")}
+        assert set(batch_cases) == {
+            "batch:algorithm-3",
+            "batch:algorithm-5",
+            "batch:phase-king",
+            "batch:oral-messages",
+        }
+        for key, case in batch_cases.items():
+            assert case["kind"] == "batch"
+            assert case["runs"] > case["unique_runs"]
+            assert case["baseline_case"] in cases
+            assert case["messages_per_sec"] > 0
+        # The kernel algorithms actually took the kernel path.
+        assert batch_cases["batch:phase-king"]["kernel_runs"] == 2
+        assert batch_cases["batch:oral-messages"]["kernel_runs"] == 2
+        # Authenticated batches share digests through the interned table.
+        assert batch_cases["batch:algorithm-3"]["digest_hit_rate"] > 0.5
+
+    def test_bench_profile_prints_hotspots_without_json(self, capsys, tmp_path):
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench", "--quick", "--repeat", "1",
+                "--profile", "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert not output.exists()
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "top-20" in out
+
 
 class TestFaultInjectionCli:
     def test_run_with_faults_reports_excused(self, capsys):
