@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint lint-protocol lint-baseline check bench bench-compare bench-batch benchmarks fuzz fuzz-smoke chaos-smoke docs-check
+.PHONY: test lint lint-protocol lint-baseline check bench bench-compare bench-batch benchmarks fuzz fuzz-smoke chaos-smoke approx-smoke docs-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -10,7 +10,7 @@ test:
 lint:
 	./scripts/check.sh
 
-# Just the whole-program protocol analyzer (BA001-BA009), gated on the
+# Just the whole-program protocol analyzer (BA001-BA010), gated on the
 # committed baseline — the same invocation scripts/check.sh runs.
 lint-protocol:
 	PYTHONPATH=src $(PYTHON) -m repro lint --baseline lint_baseline.json src/repro
@@ -65,3 +65,9 @@ fuzz-smoke:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro fuzz --algorithm all --fault-rate 0.2 \
 		--budget 300 --seed 0
+
+# Statistical smoke for the randomized workloads: seeded KS/chi-square
+# ensemble checks (coin uniformity, Ben-Or's geometric round tail,
+# eps-convergence), sized well under 10s.  Deterministic for the seed.
+approx-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro approx-smoke --seed 0

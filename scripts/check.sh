@@ -93,4 +93,15 @@ else
     echo "== chaos smoke == (CHAOS_SMOKE=0, skipped)"
 fi
 
+# Approx smoke: seeded ensemble statistics for the randomized workloads
+# (coin-stream KS uniformity, Ben-Or's geometric round tail by chi-square,
+# eps-convergence of the approximate-agreement pair).  Deterministic for
+# the seed and well under 10s.  Disable with APPROX_SMOKE=0.
+if [ "${APPROX_SMOKE:-1}" != "0" ]; then
+    echo "== approx smoke =="
+    PYTHONPATH=src python -m repro approx-smoke --seed 0 || status=1
+else
+    echo "== approx smoke == (APPROX_SMOKE=0, skipped)"
+fi
+
 exit "$status"

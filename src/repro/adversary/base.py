@@ -30,6 +30,7 @@ from repro.core.types import ProcessorId, Value
 from repro.crypto.signatures import SignatureService, SigningKey
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.approx.coins import CoinSource
     from repro.core.history import History
     from repro.core.protocol import AgreementAlgorithm
 
@@ -53,6 +54,10 @@ class AdversaryEnvironment:
     #: processors, e.g. for "behave like a correct processor except ..."
     #: strategies).
     algorithm: "AgreementAlgorithm"
+    #: The run's coin stream (randomized algorithms only) — a simulated
+    #: faulty processor behaving correctly flips the same coins a correct
+    #: one would.  The full-information adversary may read it freely.
+    coins: "CoinSource | None" = None
 
 
 @dataclass

@@ -55,6 +55,7 @@ class SimulatingAdversary(Adversary):
                     transmitter=env.transmitter,
                     key=env.keys[pid],
                     service=env.service,
+                    coins=env.coins,
                 )
             )
             self._simulated[pid] = processor
@@ -167,6 +168,7 @@ class EquivocatingTransmitter(SimulatingAdversary):
                     transmitter=env.transmitter,
                     key=env.keys[self.transmitter_id],
                     service=env.service,
+                    coins=env.coins,
                 )
             )
             self._instances[value] = processor

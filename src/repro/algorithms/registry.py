@@ -3,7 +3,11 @@
 Maps short names to constructors with a uniform ``(n, t, **params)``
 signature, plus metadata used by the comparison tables (experiment E11).
 The strawmen are registered separately — they are counterexamples, not
-algorithms anyone should run.
+algorithms anyone should run — and so is the approximate/randomized
+workload family (``WORKLOADS``): those solve a *different problem*
+(ε-agreement, probabilistic termination) with their own resilience
+domains (``n > 3t`` / ``n > 5t``), so zoo-wide exact-BA sweeps must not
+instantiate them at arbitrary ``(n, t)``.
 """
 
 from __future__ import annotations
@@ -12,6 +16,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.algorithms.active_set import ActiveSetBroadcast
+from repro.approx.benor import BenOr
+from repro.approx.filtered_mean import FilteredMeanApprox
+from repro.approx.midpoint import MidpointApprox
+from repro.approx.strawman import OvershootMidpoint
 from repro.algorithms.algorithm1 import Algorithm1
 from repro.algorithms.algorithm2 import Algorithm2
 from repro.algorithms.algorithm3 import Algorithm3
@@ -136,6 +144,48 @@ STRAWMEN: dict[str, AlgorithmInfo] = {
             phases_formula="2",
             messages_formula="(n-1)^2",
         ),
+        AlgorithmInfo(
+            name="strawman-overshoot",
+            build=OvershootMidpoint,
+            authenticated=False,
+            source="counterexample: untrimmed midpoint breaks ε-validity",
+            phases_formula="m",
+            messages_formula="m n (n-1)",
+        ),
+    )
+}
+
+#: The approximate / randomized consensus family.  Kept out of
+#: ``ALGORITHMS`` deliberately: exact-BA comparison sweeps build every
+#: ``ALGORITHMS`` entry at shared ``(n, t)`` grid points and check the
+#: exact BA conditions, neither of which applies here.
+WORKLOADS: dict[str, AlgorithmInfo] = {
+    info.name: info
+    for info in (
+        AlgorithmInfo(
+            name="midpoint-approx",
+            build=MidpointApprox,
+            authenticated=False,
+            source="ε-agreement, midpoint rule (DLPSW 1986; n > 3t)",
+            phases_formula="m = ceil(log2(K/eps))",
+            messages_formula="m n (n-1)",
+        ),
+        AlgorithmInfo(
+            name="filtered-mean-approx",
+            build=FilteredMeanApprox,
+            authenticated=False,
+            source="ε-agreement, trimmed-mean rule (rate t/(n-2t); n > 3t)",
+            phases_formula="m = ceil(log_{1/rate}(K/eps))",
+            messages_formula="m n (n-1)",
+        ),
+        AlgorithmInfo(
+            name="ben-or",
+            build=BenOr,
+            authenticated=False,
+            source="randomized consensus (Ben-Or 1983; n > 5t)",
+            phases_formula="2 per round, geometric rounds",
+            messages_formula="2 m n (n-1) cap",
+        ),
     )
 }
 
@@ -150,19 +200,19 @@ def _fold(name: str) -> str:
 
 
 def get(name: str) -> AlgorithmInfo:
-    """Look up a registered algorithm (strawmen included) by name.
+    """Look up a registered algorithm (strawmen and workloads included).
 
     Exact canonical names win; otherwise the lookup is insensitive to
     case and to ``-``/``_`` separators (see :func:`_fold`).
     """
-    if name in ALGORITHMS:
-        return ALGORITHMS[name]
-    if name in STRAWMEN:
-        return STRAWMEN[name]
+    registries = (ALGORITHMS, WORKLOADS, STRAWMEN)
+    for registry in registries:
+        if name in registry:
+            return registry[name]
     folded = _fold(name)
-    for registry in (ALGORITHMS, STRAWMEN):
+    for registry in registries:
         for canonical in sorted(registry):
             if _fold(canonical) == folded:
                 return registry[canonical]
-    known = sorted(ALGORITHMS) + sorted(STRAWMEN)
+    known = sorted(ALGORITHMS) + sorted(WORKLOADS) + sorted(STRAWMEN)
     raise KeyError(f"unknown algorithm {name!r}; known: {known}")

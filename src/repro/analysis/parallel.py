@@ -78,13 +78,29 @@ class ScenarioSpec:
     trace_dir: str | None = None
 
     def trace_file_name(self, algorithm_name: str) -> str:
-        """Deterministic, filesystem-safe trace name for this scenario."""
+        """Deterministic, filesystem-safe trace name for this scenario.
+
+        Float params (``eps``, ``coin_bias``) use ``repr`` — Python's
+        shortest round-trip form — so ``0.25`` names the file ``eps0.25``
+        on every platform.  When sanitization is lossy (a param value
+        containing ``/`` or spaces), a short digest of the unsanitized
+        stem is appended: two distinct scenarios can never silently share
+        one trace file.
+        """
         parts = [algorithm_name]
-        parts.extend(f"{key}{value}" for key, value in self.params)
+        parts.extend(
+            f"{key}{value!r}" if isinstance(value, float) else f"{key}{value}"
+            for key, value in self.params
+        )
         parts.append(self.adversary_name)
         parts.append(f"v{self.value}")
         stem = "-".join(parts)
         safe = "".join(c if c.isalnum() or c in "-._" else "_" for c in stem)
+        if safe != stem:
+            import hashlib
+
+            digest = hashlib.sha256(stem.encode("utf-8")).hexdigest()[:8]
+            safe = f"{safe}-{digest}"
         return f"{safe}.jsonl"
 
     def run(self) -> SweepPoint:

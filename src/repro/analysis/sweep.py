@@ -13,9 +13,9 @@ from typing import Callable, Iterable, Mapping
 
 from repro.adversary.base import Adversary
 from repro.core.protocol import AgreementAlgorithm
+from repro.approx.validation import check_run_conditions
 from repro.core.runner import run
 from repro.core.types import Value
-from repro.core.validation import check_byzantine_agreement
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,8 +43,10 @@ class SweepPoint:
 
         Sweep params are appended as extra columns.  A param whose name
         collides with a base column (e.g. a grid swept over ``"n"``) is
-        prefixed with ``param_`` instead of silently overwriting the
-        measured value.
+        prefixed with ``param_`` — repeatedly, until the name is free —
+        instead of silently overwriting the measured value.  Float axes
+        (``eps``, ``coin_bias``) land verbatim; they are never folded into
+        a string here, so CSV/JSON export keeps their exact value.
         """
         row: dict[str, object] = {
             "algorithm": self.algorithm,
@@ -59,7 +61,10 @@ class SweepPoint:
             "ok": self.agreement_ok,
         }
         for key, value in self.params:
-            row[f"param_{key}" if key in row else key] = value
+            column = key
+            while column in row:
+                column = f"param_{column}"
+            row[column] = value
         return row
 
 
@@ -82,7 +87,10 @@ def measure(
     result = run(
         algorithm, value, adversary, record_history=record_history, sinks=sinks
     )
-    report = check_byzantine_agreement(result)
+    # Family-aware: exact BA for the zoo, ε-agreement / randomized
+    # conditions for the workloads — float-ε sweep grids judge the right
+    # predicate instead of demanding bit-equality of float decisions.
+    report = check_run_conditions(result, algorithm)
     return SweepPoint(
         algorithm=algorithm.name,
         n=algorithm.n,

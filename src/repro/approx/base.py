@@ -1,0 +1,283 @@
+"""Abstract bases for the approximate / randomized workload family.
+
+Two new problem statements join the exact-BA zoo:
+
+* :class:`ApproximateAgreement` — every processor starts with a real
+  value; correct processors must end within ``eps`` of each other
+  (ε-agreement) and inside the range of correct inputs (ε-validity).
+  The synchronous round structure follows Dolev-Lynch-Pinter-Stark-Weihl:
+  each round, broadcast your value, collect the others', sort, trim the
+  ``t`` lowest and ``t`` highest, and apply a concrete *update rule*.
+  The per-round contraction of the correct-value diameter is declared as
+  the ``convergence_rate`` class attribute (lint rule BA010) and the
+  round count is *derived* from it: the smallest ``m`` with
+  ``diameter · rate^m ≤ eps``, computed in exact rational arithmetic.
+* :class:`RandomizedConsensus` — exact binary agreement with
+  probabilistic termination.  Processors consult the run's seeded
+  :class:`~repro.approx.coins.CoinSource`; the algorithm opts into the
+  runner's variable-round mode, so ``num_phases()`` is a cap and the run
+  stops once every correct processor reports
+  :meth:`~repro.core.protocol.Processor.has_terminated`.
+
+Both families are unauthenticated (no signatures) and take *per-processor*
+inputs from the algorithm configuration: the runner's single transmitter
+input edge is the exact-BA input model, so approx processors simply
+ignore the phase-0 edge and read their initial value from
+``algorithm.inputs``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, ClassVar, Iterable, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.message import Envelope, Outgoing
+from repro.core.protocol import AgreementAlgorithm, Processor
+from repro.core.types import TRANSMITTER, ProcessorId, Value
+
+from repro.approx.coins import CoinSource
+
+__all__ = [
+    "RoundValue",
+    "ApproximateAgreement",
+    "ApproxProcessor",
+    "RandomizedConsensus",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class RoundValue:
+    """One processor's value broadcast in one approximate-agreement round."""
+
+    round_index: int
+    value: float
+
+
+class ApproximateAgreement(AgreementAlgorithm):
+    """Base for synchronous ε-agreement algorithms (trim-and-update).
+
+    Concrete subclasses declare a ``convergence_rate`` expression and
+    implement :meth:`update` (the rule applied to the trimmed, sorted
+    value multiset each round).  Everything else — the broadcast/collect
+    round structure, junk filtering, the derived round count — is shared.
+    """
+
+    name: ClassVar[str] = "approx-abstract"
+    authenticated: ClassVar[bool] = False
+    #: Continuous inputs: any float is a legal value.
+    value_domain: ClassVar[frozenset[Any] | None] = None
+    phase_bound: ClassVar[str | None] = "derived"
+    message_bound: ClassVar[str | None] = "derived"
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        *,
+        eps: float = 0.25,
+        inputs: Sequence[float] | None = None,
+        transmitter: ProcessorId = TRANSMITTER,
+    ) -> None:
+        super().__init__(n, t, transmitter=transmitter)
+        if not eps > 0:
+            raise ConfigurationError(f"eps must be positive, got {eps!r}")
+        self.eps = float(eps)
+        if inputs is None:
+            # Defaults offset from 0 so that junk coerced to 0.0 (the
+            # strawman's bug) falls visibly outside the correct range.
+            inputs = tuple(10.0 + pid for pid in range(n))
+        self.inputs = tuple(float(v) for v in inputs)
+        if len(self.inputs) != n:
+            raise ConfigurationError(
+                f"{self.name} needs one input per processor: got "
+                f"{len(self.inputs)} inputs for n={n}"
+            )
+        self.m = self._required_rounds()
+
+    # ------------------------------------------------------ derived bounds
+
+    def contraction_rate(self) -> Fraction:
+        """The declared per-round contraction, evaluated exactly."""
+        from repro.bounds.expressions import evaluate_rate
+
+        rate = evaluate_rate(self.convergence_rate, self.bound_parameters())
+        if rate is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} declares no convergence_rate; "
+                f"approximate-agreement algorithms must (lint rule BA010)"
+            )
+        return rate
+
+    def _required_rounds(self) -> int:
+        """Smallest ``m ≥ 1`` with ``diameter · rate^m ≤ eps`` (exact)."""
+        diameter = Fraction(max(self.inputs)) - Fraction(min(self.inputs))
+        eps = Fraction(self.eps)
+        rate = self.contraction_rate()
+        rounds = 1
+        span = diameter * rate
+        while span > eps:
+            rounds += 1
+            span *= rate
+        return rounds
+
+    def num_phases(self) -> int:
+        """One phase per contraction round (the final absorb is on_final)."""
+        return self.m
+
+    def make_processor(self, pid: ProcessorId) -> Processor:
+        return ApproxProcessor(self, pid)
+
+    # ------------------------------------------------------- the update rule
+
+    def trimmed(self, values: Sequence[float]) -> list[float]:
+        """Sort and drop the ``t`` lowest and ``t`` highest values.
+
+        At most ``t`` of the collected values are adversarial, so after
+        trimming ``t`` per side every survivor lies within the range of
+        correct values — the inductive step of ε-validity.
+        """
+        ordered = sorted(values)
+        return ordered[self.t : len(ordered) - self.t]
+
+    @abc.abstractmethod
+    def update(self, values: Sequence[float]) -> float:
+        """Map one round's collected value multiset to the next value.
+
+        *values* is the full n-multiset (own value substituted for
+        missing or malformed entries), unsorted; implementations
+        typically start from :meth:`trimmed`.
+        """
+
+    def describe(self) -> dict[str, object]:
+        row = super().describe()
+        row["eps"] = self.eps
+        row["convergence_rate"] = str(self.contraction_rate())
+        return row
+
+
+class ApproxProcessor(Processor):
+    """The shared round engine: broadcast, collect, substitute, update.
+
+    Round ``r`` is phase ``r``: at phase 1 each processor broadcasts its
+    initial value; at phase ``r > 1`` it first absorbs the round-``r−1``
+    values delivered from phase ``r−1`` (applying the algorithm's update
+    rule) and then broadcasts the result tagged for round ``r``.  The
+    final round's messages arrive in :meth:`on_final`, so ``m`` phases
+    yield exactly ``m`` contractions.
+    """
+
+    def __init__(self, algorithm: ApproximateAgreement, pid: ProcessorId) -> None:
+        self.algorithm = algorithm
+        self.value = algorithm.inputs[pid]
+        self.rounds_applied = 0
+
+    def _collect(self, round_index: int, inbox: Sequence[Envelope]) -> list[float]:
+        """The n-multiset for *round_index*: own value fills every gap.
+
+        A sender that sent nothing, sent a payload that is not a
+        :class:`RoundValue`, tagged the wrong round, or shipped a
+        non-finite float is treated exactly like a silent one — its slot
+        is substituted with the collector's own value, the standard
+        defense that keeps the multiset at size ``n``.
+        """
+        received: dict[ProcessorId, float] = {}
+        for envelope in inbox:
+            payload = envelope.payload
+            if (
+                isinstance(payload, RoundValue)
+                and payload.round_index == round_index
+                and isinstance(payload.value, float)
+                and payload.value == payload.value  # rejects NaN
+                and abs(payload.value) != float("inf")
+                and 0 <= envelope.src < self.ctx.n
+                and envelope.src != self.ctx.pid
+            ):
+                received.setdefault(envelope.src, payload.value)
+        values = [self.value]
+        for q in self.ctx.others():
+            values.append(received.get(q, self.value))
+        return values
+
+    def _apply_round(self, round_index: int, inbox: Sequence[Envelope]) -> None:
+        self.value = self.algorithm.update(self._collect(round_index, inbox))
+        self.rounds_applied += 1
+
+    def on_phase(self, phase: int, inbox: Sequence[Envelope]) -> Iterable[Outgoing]:
+        if phase > 1:
+            self._apply_round(phase - 1, inbox)
+        payload = RoundValue(round_index=phase, value=self.value)
+        return [(q, payload) for q in self.ctx.others()]
+
+    def on_final(self, inbox: Sequence[Envelope]) -> None:
+        self._apply_round(self.algorithm.num_phases(), inbox)
+
+    def decision(self) -> Value | None:
+        return self.value
+
+
+class RandomizedConsensus(AgreementAlgorithm):
+    """Base for coin-flipping binary consensus (Ben-Or-style).
+
+    Subclasses get per-processor binary inputs, a configured coin (bias
+    and local/common scope), and the variable-round contract: the runner
+    stops as soon as every correct processor has decided, with
+    ``num_phases()`` as the cap.
+    """
+
+    name: ClassVar[str] = "randomized-abstract"
+    authenticated: ClassVar[bool] = False
+    value_domain: ClassVar[frozenset[Any] | None] = frozenset({0, 1})
+    phase_bound: ClassVar[str | None] = "derived"
+    message_bound: ClassVar[str | None] = "derived"
+    variable_rounds: ClassVar[bool] = True
+    uses_coins: ClassVar[bool] = True
+
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        *,
+        max_rounds: int = 30,
+        coin_bias: float = 0.5,
+        coin_scope: str = "local",
+        inputs: Sequence[int] | None = None,
+        transmitter: ProcessorId = TRANSMITTER,
+    ) -> None:
+        super().__init__(n, t, transmitter=transmitter)
+        if max_rounds < 1:
+            raise ConfigurationError(
+                f"max_rounds must be at least 1, got {max_rounds!r}"
+            )
+        # Stored as ``m`` so the declared phase/message bounds can close
+        # over it through bound_parameters().
+        self.m = int(max_rounds)
+        if not 0.0 <= coin_bias <= 1.0:
+            raise ConfigurationError(
+                f"coin_bias must be in [0, 1], got {coin_bias!r}"
+            )
+        if coin_scope not in ("local", "common"):
+            raise ConfigurationError(f"unknown coin scope {coin_scope!r}")
+        self.coin_bias = float(coin_bias)
+        self.coin_scope = coin_scope
+        if inputs is None:
+            # Alternating inputs by default: a mixed start exercises the
+            # coin path instead of the deterministic unanimous fast path.
+            inputs = tuple(pid % 2 for pid in range(n))
+        self.inputs = tuple(int(v) for v in inputs)
+        if len(self.inputs) != n or any(v not in (0, 1) for v in self.inputs):
+            raise ConfigurationError(
+                f"{self.name} needs one binary input per processor; got "
+                f"{self.inputs!r} for n={n}"
+            )
+
+    @property
+    def max_rounds(self) -> int:
+        """The round cap (alias of the bound parameter ``m``)."""
+        return self.m
+
+    def make_coin_source(self, seed: int) -> CoinSource:
+        """The coin stream a run of this configuration should use."""
+        return CoinSource(seed, bias=self.coin_bias, scope=self.coin_scope)

@@ -1,0 +1,79 @@
+"""A deliberately broken ε-agreement variant for the fuzz oracle.
+
+:class:`OvershootMidpoint` declares the same contraction rate as the
+correct midpoint algorithm but skips the defenses that make the rate
+true: it does **not** trim the ``t`` extremes, it coerces junk payloads
+to ``0.0`` instead of substituting its own value, and it ignores round
+tags.  A single garbled envelope therefore drags a receiver's value
+toward 0 — outside the correct-input range ``[10, 10 + n − 1]`` — which
+the ε-validity containment check flags as an ``eps_violation``.  The
+shrinker reduces any such finding to one mutation, which is exactly what
+the committed corpus entries pin.
+
+Like the exact-BA strawmen, it exists so the oracle's new verdict class
+has a guaranteed positive: a fuzzer that cannot find this bug is broken.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable, Sequence
+
+from repro.approx.base import ApproximateAgreement, RoundValue
+from repro.core.message import Envelope, Outgoing
+from repro.core.protocol import Processor
+from repro.core.types import ProcessorId, Value
+
+__all__ = ["OvershootMidpoint"]
+
+
+class OvershootMidpoint(ApproximateAgreement):
+    """Midpoint update with no trimming and credulous junk handling."""
+
+    name: ClassVar[str] = "strawman-overshoot"
+    phase_bound: ClassVar[str] = "m"
+    message_bound: ClassVar[str] = "m * n * (n - 1)"
+    #: The claim is the honest midpoint's; the implementation breaks it.
+    convergence_rate: ClassVar[str] = "1 / 2"
+
+    def update(self, values: Sequence[float]) -> float:
+        # Bug 1: no trimming — adversarial extremes survive.
+        ordered = sorted(values)
+        return (ordered[0] + ordered[-1]) / 2.0
+
+    def make_processor(self, pid: ProcessorId) -> Processor:
+        return _CredulousProcessor(self, pid)
+
+
+class _CredulousProcessor(Processor):
+    """Collects like :class:`~repro.approx.base.ApproxProcessor`, badly."""
+
+    def __init__(self, algorithm: OvershootMidpoint, pid: ProcessorId) -> None:
+        self.algorithm = algorithm
+        self.value = algorithm.inputs[pid]
+
+    def _coerce(self, payload: object) -> float:
+        # Bug 2: junk becomes 0.0 instead of being treated as silence.
+        # Bug 3: the round tag is never checked.
+        if isinstance(payload, RoundValue) and isinstance(
+            payload.value, (int, float)
+        ):
+            return float(payload.value)
+        if isinstance(payload, (int, float)) and not isinstance(payload, bool):
+            return float(payload)
+        return 0.0
+
+    def on_phase(self, phase: int, inbox: Sequence[Envelope]) -> Iterable[Outgoing]:
+        if phase > 1:
+            values = [self.value]
+            values.extend(self._coerce(envelope.payload) for envelope in inbox)
+            self.value = self.algorithm.update(values)
+        payload = RoundValue(round_index=phase, value=self.value)
+        return [(q, payload) for q in self.ctx.others()]
+
+    def on_final(self, inbox: Sequence[Envelope]) -> None:
+        values = [self.value]
+        values.extend(self._coerce(envelope.payload) for envelope in inbox)
+        self.value = self.algorithm.update(values)
+
+    def decision(self) -> Value | None:
+        return self.value

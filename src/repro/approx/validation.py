@@ -1,0 +1,176 @@
+"""Correctness conditions for the approximate / randomized workloads.
+
+Exact BA's conditions (agreement = equality, validity = the transmitter's
+value) do not apply verbatim to the new family, so each workload gets its
+own reading, reported through the same
+:class:`~repro.core.validation.ValidationReport` shape the fuzz oracle
+already consumes:
+
+* **ε-agreement** (:func:`check_epsilon_agreement`) — every pair of
+  unexcused correct decisions within ``algorithm.eps`` of each other
+  (reported as ``agreement``), and every decision inside the closed range
+  of *correct* inputs — ε-validity containment (reported as
+  ``validity``).
+* **randomized consensus** (:func:`check_randomized_consensus`) —
+  decisions that exist must agree on one binary value (``agreement``)
+  and, when the correct inputs are unanimous, equal that input
+  (``validity``).  Termination is probabilistic, so undecided processors
+  at the round cap are *not* a violation — liveness is judged
+  statistically by :mod:`repro.approx.stats`, not per run.
+"""
+
+from __future__ import annotations
+
+from repro.approx.base import ApproximateAgreement, RandomizedConsensus
+from repro.core.runner import RunResult
+from repro.core.validation import ValidationReport
+
+__all__ = [
+    "check_epsilon_agreement",
+    "check_randomized_consensus",
+    "check_run_conditions",
+]
+
+
+def check_epsilon_agreement(
+    result: RunResult,
+    algorithm: ApproximateAgreement,
+    *,
+    excused: frozenset[int] = frozenset(),
+) -> ValidationReport:
+    """ε-agreement + ε-validity containment on one finished run."""
+    violations: list[str] = []
+    decisions = {
+        pid: value
+        for pid, value in sorted(result.decisions.items())
+        if pid not in excused
+    }
+
+    undecided = sorted(
+        pid
+        for pid, value in decisions.items()
+        if not isinstance(value, float) or value != value
+    )
+    all_decided = not undecided
+    if undecided:
+        violations.append(
+            f"correct processors {undecided} hold no finite value"
+        )
+    settled = {
+        pid: value
+        for pid, value in sorted(decisions.items())
+        if pid not in undecided
+    }
+
+    agreement = True
+    if settled:
+        low_pid = min(settled, key=lambda pid: (settled[pid], pid))
+        high_pid = max(settled, key=lambda pid: (settled[pid], pid))
+        spread = settled[high_pid] - settled[low_pid]
+        # A strict float comparison would flag rounding dust; one ulp of
+        # slack keeps the check about the protocol, not the FPU.
+        if spread > algorithm.eps * (1 + 1e-12):
+            agreement = False
+            violations.append(
+                f"eps-agreement violated: |{settled[high_pid]!r} - "
+                f"{settled[low_pid]!r}| = {spread!r} > eps={algorithm.eps!r} "
+                f"(processors {high_pid} vs {low_pid})"
+            )
+
+    validity = True
+    correct_inputs = [
+        algorithm.inputs[pid] for pid in sorted(result.correct)
+    ]
+    if settled and correct_inputs:
+        low, high = min(correct_inputs), max(correct_inputs)
+        outside = sorted(
+            pid
+            for pid, value in settled.items()
+            if not low - 1e-12 <= value <= high + 1e-12
+        )
+        if outside:
+            validity = False
+            violations.append(
+                f"eps-validity violated: {outside} decided outside the "
+                f"correct-input range [{low!r}, {high!r}]: "
+                f"{[settled[pid] for pid in outside]!r}"
+            )
+
+    return ValidationReport(
+        agreement=agreement,
+        validity=validity,
+        all_decided=all_decided,
+        violations=violations,
+        excused=frozenset(excused) & result.correct,
+    )
+
+
+def check_randomized_consensus(
+    result: RunResult,
+    algorithm: RandomizedConsensus,
+    *,
+    excused: frozenset[int] = frozenset(),
+) -> ValidationReport:
+    """Agreement + unanimity-validity; undecided-at-cap is not a failure."""
+    violations: list[str] = []
+    decisions = {
+        pid: value
+        for pid, value in sorted(result.decisions.items())
+        if pid not in excused
+    }
+    decided = {
+        pid: value
+        for pid, value in sorted(decisions.items())
+        if value is not None
+    }
+
+    values = set(decided.values())
+    agreement = len(values) <= 1
+    if not agreement:
+        per_value = {
+            repr(v): sorted(p for p, d in decided.items() if d == v)
+            for v in sorted(values)
+        }
+        violations.append(f"agreement violated: {per_value}")
+
+    validity = True
+    correct_inputs = {
+        algorithm.inputs[pid] for pid in sorted(result.correct)
+    }
+    if decided and len(correct_inputs) == 1:
+        (unanimous,) = correct_inputs
+        wrong = sorted(
+            pid for pid, value in decided.items() if value != unanimous
+        )
+        if wrong:
+            validity = False
+            violations.append(
+                f"validity violated: correct inputs are unanimously "
+                f"{unanimous!r} but {wrong} decided otherwise"
+            )
+
+    # Probabilistic termination: a processor still undecided when the
+    # round cap ran out is a statistics question, not a per-run bug.
+    return ValidationReport(
+        agreement=agreement,
+        validity=validity,
+        all_decided=True,
+        violations=violations,
+        excused=frozenset(excused) & result.correct,
+    )
+
+
+def check_run_conditions(
+    result: RunResult,
+    algorithm: object,
+    *,
+    excused: frozenset[int] = frozenset(),
+) -> ValidationReport:
+    """Dispatch to the right condition set for *algorithm*'s family."""
+    from repro.core.validation import check_byzantine_agreement
+
+    if isinstance(algorithm, ApproximateAgreement):
+        return check_epsilon_agreement(result, algorithm, excused=excused)
+    if isinstance(algorithm, RandomizedConsensus):
+        return check_randomized_consensus(result, algorithm, excused=excused)
+    return check_byzantine_agreement(result, excused=excused)

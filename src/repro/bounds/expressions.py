@@ -40,6 +40,7 @@ __all__ = [
     "formula_namespace",
     "validate_bound_expression",
     "evaluate_bound",
+    "evaluate_rate",
 ]
 
 #: Declares that the bound is derived at runtime from component algorithms.
@@ -177,3 +178,70 @@ def evaluate_bound(
             f"{type(result).__name__}, expected a number"
         )
     return math.ceil(result)
+
+
+class _ExactDivision(ast.NodeTransformer):
+    """Rewrite integer literals as ``Fraction`` constructor calls.
+
+    Under plain evaluation ``1/2`` is a float and ``t/(n - 2*t)`` loses
+    exactness for e.g. ``1/3``; lifting every literal into
+    :class:`~fractions.Fraction` makes ``/`` exact so convergence-rate
+    arithmetic (round counts from repeated contraction) never drifts.
+    """
+
+    def visit_Constant(self, node: ast.Constant) -> ast.AST:  # noqa: N802
+        if isinstance(node.value, int) and not isinstance(node.value, bool):
+            return ast.copy_location(
+                ast.Call(
+                    func=ast.Name(id="__frac__", ctx=ast.Load()),
+                    args=[node],
+                    keywords=[],
+                ),
+                node,
+            )
+        return node
+
+
+def evaluate_rate(
+    declaration: str | None, parameters: Mapping[str, int]
+) -> Fraction | None:
+    """Evaluate a declared convergence rate exactly, as a Fraction.
+
+    A convergence rate is the per-round contraction factor of the
+    correct-value diameter in an approximate-agreement algorithm; unlike
+    the integer budgets it must *not* be rounded, so division is made
+    exact by lifting all literals into :class:`~fractions.Fraction`.
+
+    Returns ``None`` for an absent declaration or a sentinel; raises
+    :class:`BoundExpressionError` when the result is outside the open
+    interval ``(0, 1)`` — anything else is not a contraction.
+    """
+    if declaration is None or declaration in SENTINELS:
+        return None
+    tree = validate_bound_expression(declaration)
+    tree = ast.fix_missing_locations(_ExactDivision().visit(tree))
+    namespace: dict[str, object] = dict(formula_namespace())
+    namespace["__frac__"] = Fraction
+    for name, value in parameters.items():
+        if name in PARAMETER_NAMES:
+            namespace[name] = Fraction(value)
+    code = compile(tree, "<declared-rate>", "eval")
+    try:
+        result = eval(code, {"__builtins__": {}}, namespace)  # noqa: S307
+    except NameError as error:
+        raise BoundExpressionError(
+            f"rate expression {declaration!r} needs a parameter this "
+            f"algorithm does not define: {error}"
+        ) from error
+    if isinstance(result, bool) or not isinstance(result, (int, Fraction)):
+        raise BoundExpressionError(
+            f"rate expression {declaration!r} evaluated to "
+            f"{type(result).__name__}, expected exact rational arithmetic"
+        )
+    rate = Fraction(result)
+    if not 0 < rate < 1:
+        raise BoundExpressionError(
+            f"rate expression {declaration!r} evaluated to {rate} at "
+            f"{dict(parameters)}; a contraction rate must lie in (0, 1)"
+        )
+    return rate

@@ -36,7 +36,7 @@ from repro.adversary.standard import (
     RandomizedAdversary,
     SilentAdversary,
 )
-from repro.algorithms.registry import ALGORITHMS, STRAWMEN, get
+from repro.algorithms.registry import ALGORITHMS, STRAWMEN, WORKLOADS, get
 from repro.analysis.tables import format_table
 from repro.bounds.theorem1 import theorem1_experiment
 from repro.bounds.theorem2 import theorem2_experiment
@@ -80,7 +80,19 @@ def _build(args: argparse.Namespace) -> AgreementAlgorithm:
     params = {}
     if args.s is not None:
         params["s"] = args.s
+    for key in ("eps", "coin_bias", "max_rounds"):
+        value = getattr(args, key, None)
+        if value is not None:
+            params[key] = value
     return info(args.n, args.t, **params)
+
+
+def _coins_for(args: argparse.Namespace, algorithm: AgreementAlgorithm):
+    """A seeded coin source when *algorithm* flips coins, else ``None``."""
+    if not algorithm.uses_coins:
+        return None
+    seed = getattr(args, "seed", None) or 0
+    return algorithm.make_coin_source(seed)  # type: ignore[attr-defined]
 
 
 def cmd_list(_: argparse.Namespace) -> int:
@@ -93,7 +105,11 @@ def cmd_list(_: argparse.Namespace) -> int:
             "phases": info.phases_formula,
             "messages": info.messages_formula,
         }
-        for info in list(ALGORITHMS.values()) + list(STRAWMEN.values())
+        for info in (
+            list(ALGORITHMS.values())
+            + list(WORKLOADS.values())
+            + list(STRAWMEN.values())
+        )
     ]
     print(format_table(rows, title="Registered algorithms"))
     return 0
@@ -132,6 +148,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         trace_sink = JsonlTraceSink(trace_out)
         sinks = (trace_sink,)
+    coins = _coins_for(args, algorithm)
     try:
         result = run_algorithm(
             algorithm,
@@ -140,6 +157,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             sinks=sinks,
             collect_telemetry=instrument,
             transport=transport,
+            coins=coins,
         )
     finally:
         if trace_sink is not None:
@@ -149,7 +167,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.transport import excused_processors
 
         excused = excused_processors(result.fault_events) & result.correct
-    report = check_byzantine_agreement(result, excused=excused)
+    from repro.approx.validation import check_run_conditions
+
+    report = check_run_conditions(result, algorithm, excused=excused)
 
     print(f"algorithm            : {algorithm.name} (n={algorithm.n}, t={algorithm.t})")
     print(f"phases               : {algorithm.num_phases()}")
@@ -157,6 +177,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if result.fault_events:
         print(f"faults injected      : {len(result.fault_events)} "
               f"(excused: {sorted(excused) or 'nobody'})")
+    if coins is not None:
+        print(f"coin seed / flips    : {coins.seed} / {coins.flips}")
     print(f"decisions            : {result.decided_values()}")
     print(f"messages (correct)   : {result.metrics.messages_by_correct}")
     print(f"signatures (correct) : {result.metrics.signatures_by_correct}")
@@ -259,7 +281,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     algorithm = _build(args)
     adversary = parse_adversary(args.adversary, algorithm)
-    result = run_algorithm(algorithm, args.value, adversary)
+    result = run_algorithm(
+        algorithm, args.value, adversary, coins=_coins_for(args, algorithm)
+    )
     print(render_trace(result, max_messages_per_phase=args.max_messages))
     return 0
 
@@ -270,7 +294,9 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
     algorithm = _build(args)
     adversary = parse_adversary(args.adversary, algorithm)
-    result = run_algorithm(algorithm, args.value, adversary)
+    result = run_algorithm(
+        algorithm, args.value, adversary, coins=_coins_for(args, algorithm)
+    )
     verdicts = check_conformance(result, _build(args))
     rows = []
     for pid in range(algorithm.n):
@@ -294,7 +320,7 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """`repro lint`: run the BA001–BA009 protocol analyzer."""
+    """`repro lint`: run the BA001–BA010 protocol analyzer."""
     from pathlib import Path
 
     import repro
@@ -674,6 +700,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
                 script=script,
                 params=dict(case.params),
                 fault_plan=case.fault_plan,
+                coin_seed=case.coin_seed,
             )
             path = save_entry(args.save_corpus, entry)
             print(f"  saved  : {path}")
@@ -682,6 +709,28 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
     print(f"\n{len(results)} cases, {len(failures)} failing")
     return 1 if failures else 0
+
+
+def cmd_approx_smoke(args: argparse.Namespace) -> int:
+    """`repro approx-smoke`: the seeded statistical gate for the workloads."""
+    from repro.approx.stats import run_statistical_smoke
+
+    try:
+        report = run_statistical_smoke(args.seed)
+    except AssertionError as error:
+        print(f"repro approx-smoke: FAIL — {error}", file=sys.stderr)
+        return 1
+    print(f"seed                  : {report['seed']}")
+    print(f"coin KS statistic     : {report['coin_ks']:.4f} "
+          f"(critical {report['coin_ks_critical']:.4f} at alpha=0.01)")
+    print(f"ben-or success prob   : {report['benor_success_probability']:.4f}")
+    print(f"ben-or round histogram: {report['benor_round_histogram']}")
+    print(f"ben-or chi^2 p-value  : {report['benor_chi2_pvalue']:.4f}")
+    for key in sorted(report):
+        if key.endswith("_rounds"):
+            print(f"{key:<22}: {report[key]}")
+    print("approx-smoke          : all statistical checks pass")
+    return 0
 
 
 def cmd_experiments(_: argparse.Namespace) -> int:
@@ -717,6 +766,16 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--t", type=int, required=True)
         p.add_argument("--s", type=int, default=None, help="tuning parameter "
                        "(Algorithm 3's chain-set size / Algorithm 5's tree size)")
+        p.add_argument("--eps", type=float, default=None,
+                       help="agreement tolerance for the approximate workloads")
+        p.add_argument("--coin-bias", type=float, default=None, dest="coin_bias",
+                       help="P[coin = 1] for the randomized workloads "
+                       "(default: 0.5)")
+        p.add_argument("--max-rounds", type=int, default=None, dest="max_rounds",
+                       help="round cap for the randomized workloads")
+        p.add_argument("--seed", type=int, default=0,
+                       help="coin-stream seed for the randomized workloads "
+                       "(ignored by deterministic algorithms)")
 
     p_run = sub.add_parser("run", help="execute one scenario")
     add_system_args(p_run)
@@ -783,6 +842,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_conf.add_argument("--value", type=int, default=1)
     p_conf.add_argument("--adversary", default=None)
     p_conf.set_defaults(func=cmd_conformance)
+
+    p_approx = sub.add_parser(
+        "approx-smoke",
+        help="seeded statistical gate: coin uniformity (KS), Ben-Or's "
+        "geometric round tail (chi^2), eps-convergence",
+    )
+    p_approx.add_argument(
+        "--seed", type=int, default=0,
+        help="ensemble seed; the gate is deterministic per seed (default: 0)",
+    )
+    p_approx.set_defaults(func=cmd_approx_smoke)
 
     p_exp = sub.add_parser(
         "experiments",
@@ -871,7 +941,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lint = sub.add_parser(
         "lint",
-        help="static verification of the protocol invariants (BA001-BA009)",
+        help="static verification of the protocol invariants (BA001-BA010)",
     )
     p_lint.add_argument(
         "paths",

@@ -106,6 +106,14 @@ def conformance_of(
         raise ConfigurationError("the run did not record its history")
 
     service = result.service.clone()
+    # Coin-flipping protocols are deterministic given their coin stream:
+    # rebuild the run's CoinSource from the recorded seed so the replayed
+    # rule specifies the exact same flips as the history.
+    coins = None
+    if result.coin_seed is not None:
+        make_coins = getattr(algorithm, "make_coin_source", None)
+        if make_coins is not None:
+            coins = make_coins(result.coin_seed)
     processor = algorithm.make_processor(pid)
     processor.bind(
         Context(
@@ -115,6 +123,7 @@ def conformance_of(
             transmitter=algorithm.transmitter,
             key=service.key_for(pid),
             service=service,
+            coins=coins,
         )
     )
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, ClassVar, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, ClassVar, Iterable, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.core.message import Envelope, Outgoing
@@ -30,6 +30,9 @@ from repro.core.types import (
     check_population,
 )
 from repro.crypto.signatures import Signature, SignatureService, SigningKey
+
+if TYPE_CHECKING:
+    from repro.approx.coins import CoinSource
 
 
 @dataclass
@@ -46,6 +49,9 @@ class Context:
     transmitter: ProcessorId
     key: SigningKey
     service: SignatureService
+    #: Seeded coin stream for randomized algorithms; ``None`` for the
+    #: deterministic exact-BA zoo (which must never consult it).
+    coins: "CoinSource | None" = None
 
     def sign(self, payload: Any) -> Signature:
         """Sign *payload* as this processor."""
@@ -107,6 +113,16 @@ class Processor(abc.ABC):
     def decision(self) -> Value | None:
         """The processor's decided value (``None`` while undecided)."""
 
+    def has_terminated(self) -> bool:
+        """Whether this processor is done under variable-round execution.
+
+        Only consulted when the algorithm declares
+        ``variable_rounds = True``; the run stops early once every correct
+        processor reports ``True``.  Fixed-round algorithms never see this
+        called, so the default keeps exact-BA runs byte-identical.
+        """
+        return False
+
 
 class AgreementAlgorithm(abc.ABC):
     """A complete agreement algorithm for ``n`` processors tolerating ``t`` faults.
@@ -145,6 +161,20 @@ class AgreementAlgorithm(abc.ABC):
     #: for authenticated algorithms; ``"unstated"`` when the paper gives no
     #: closed form).
     signature_bound: ClassVar[str | None] = None
+    #: Per-round contraction rate of the correct-value diameter, as a bound
+    #: expression evaluating into ``(0, 1)`` (approximate-agreement
+    #: algorithms only; lint rule BA010 requires it on every
+    #: ``ApproximateAgreement`` subclass).
+    convergence_rate: ClassVar[str | None] = None
+
+    #: Whether the run length is a predicate (``Processor.has_terminated``)
+    #: rather than the fixed ``num_phases()`` schedule.  When ``True`` the
+    #: runner stops as soon as every correct processor has terminated;
+    #: ``num_phases()`` becomes the cap.
+    variable_rounds: ClassVar[bool] = False
+    #: Whether processors consult ``Context.coins``.  Drives coin-seed
+    #: derivation in the fuzz campaign and the ``--seed`` CLI flag.
+    uses_coins: ClassVar[bool] = False
 
     def __init__(self, n: int, t: int, *, transmitter: ProcessorId = TRANSMITTER) -> None:
         check_population(n, t)

@@ -34,6 +34,7 @@ from repro.obs.events import TRACE_SCHEMA, EventSink, jsonable, safe_digest
 from repro.obs.telemetry import SYSTEM_CLOCK, Clock, PhaseTiming, RunTelemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.approx.coins import CoinSource
     from repro.transport.base import Transport
 
 
@@ -66,6 +67,10 @@ class RunResult:
     #: Fault events the transport recorded (``repro-fault/1`` dicts, in
     #: injection order); empty for the default perfect network.
     fault_events: tuple[dict[str, Any], ...] = ()
+    #: Seed of the :class:`~repro.approx.coins.CoinSource` the run used,
+    #: or ``None`` for deterministic algorithms.  Replay layers rebuild
+    #: the identical coin stream from this.
+    coin_seed: int | None = None
 
     def decision_of(self, pid: ProcessorId) -> Value:
         """Decision of correct processor *pid*."""
@@ -179,6 +184,7 @@ def run(
     collect_telemetry: bool = False,
     clock: Clock | None = None,
     service: SignatureService | None = None,
+    coins: "CoinSource | None" = None,
 ) -> RunResult:
     """Execute *algorithm* on *input_value* against *adversary*.
 
@@ -226,6 +232,11 @@ def run(
             :class:`~repro.crypto.signatures.InternedSignatureService`
             instances so digest computations are shared across a batch
             while the issued-signature sets stay strictly per-run.
+        coins: seeded :class:`~repro.approx.coins.CoinSource` for
+            randomized algorithms; exposed to every correct processor as
+            ``Context.coins`` and recorded as
+            :attr:`RunResult.coin_seed`.  ``None`` (the default) for the
+            deterministic zoo.
 
     Returns:
         A :class:`RunResult`.
@@ -280,6 +291,7 @@ def run(
                 transmitter=algorithm.transmitter,
                 key=service.key_for(pid),
                 service=service,
+                coins=coins,
             )
         )
         processors[pid] = processor
@@ -293,6 +305,7 @@ def run(
             service=service,
             keys={pid: service.key_for(pid) for pid in sorted(faulty)},
             algorithm=algorithm,
+            coins=coins,
         )
     )
     # Key distribution is complete: every correct processor holds its own
@@ -326,22 +339,23 @@ def run(
         )
 
     if sinks:
-        _emit(
-            sinks,
-            {
-                "event": "run_start",
-                "schema": TRACE_SCHEMA,
-                "algorithm": algorithm.name,
-                "n": n,
-                "t": t,
-                "transmitter": algorithm.transmitter,
-                "input_value": jsonable(input_value),
-                "faulty": sorted(faulty),
-                "phases_configured": algorithm.num_phases(),
-                "rushing": rushing,
-            },
-            telemetry,
-        )
+        run_start_event = {
+            "event": "run_start",
+            "schema": TRACE_SCHEMA,
+            "algorithm": algorithm.name,
+            "n": n,
+            "t": t,
+            "transmitter": algorithm.transmitter,
+            "input_value": jsonable(input_value),
+            "faulty": sorted(faulty),
+            "phases_configured": algorithm.num_phases(),
+            "rushing": rushing,
+        }
+        if coins is not None:
+            # Key added only for randomized runs so that exact-BA traces
+            # stay byte-identical to the fixed-round runner's.
+            run_start_event["coin_seed"] = coins.seed
+        _emit(sinks, run_start_event, telemetry)
         # The phase-0 inedge is delivered at the beginning of phase 1, like
         # every other phase-k message is delivered at phase k + 1.
         _emit(
@@ -359,6 +373,11 @@ def run(
         src=INPUT_SOURCE, dst=algorithm.transmitter, phase=0, payload=input_value
     )
     pending: dict[ProcessorId, list[Envelope]] = {algorithm.transmitter: [input_edge]}
+
+    # Variable-round algorithms (randomized consensus) terminate by
+    # predicate; num_phases() is their cap.  The flag is read once so the
+    # fixed-round zoo never pays a has_terminated() call per phase.
+    variable = algorithm.variable_rounds
 
     for phase in range(1, algorithm.num_phases() + 1):
         inboxes = pending
@@ -464,6 +483,12 @@ def run(
                     cpu_s=clk.cpu() - phase_cpu_started,
                 )
             )
+        if (
+            variable
+            and processors
+            and all(processors[pid].has_terminated() for pid in processors)
+        ):
+            break
 
     if transport is not None:
         leftover = transport.end_run(algorithm.num_phases())
@@ -521,4 +546,5 @@ def run(
         service=service,
         telemetry=telemetry,
         fault_events=tuple(fault_events),
+        coin_seed=coins.seed if coins is not None else None,
     )

@@ -18,11 +18,11 @@ import hashlib
 from dataclasses import dataclass, replace
 from typing import Iterable, Mapping, Sequence
 
-from repro.algorithms.registry import ALGORITHMS, STRAWMEN, get
+from repro.algorithms.registry import ALGORITHMS, STRAWMEN, WORKLOADS, get
 from repro.core.protocol import AgreementAlgorithm
 from repro.core.types import Value
 from repro.fuzz.generator import generate_script
-from repro.fuzz.oracle import BENIGN, OK, FuzzOutcome, execute_script
+from repro.fuzz.oracle import BENIGN, EPS_VIOLATION, OK, FuzzOutcome, execute_script
 from repro.fuzz.script import AdversaryScript
 from repro.fuzz.shrinker import shrink_script
 from repro.transport.faults import FaultPlan, random_plan
@@ -32,7 +32,7 @@ from repro.transport.faults import FaultPlan, random_plan
 #: a 200-case budget per algorithm stays interactive.  Algorithms 1/2 need
 #: n = 2t + 1; Algorithm 5 needs n >= the smallest square above 6t, so it
 #: fuzzes at t = 1.
-FUZZ_CONFIGS: dict[str, tuple[int, int, dict[str, int]]] = {
+FUZZ_CONFIGS: dict[str, tuple[int, int, dict[str, object]]] = {
     "dolev-strong": (6, 2, {}),
     "active-set": (8, 2, {}),
     "oral-messages": (7, 2, {}),
@@ -42,10 +42,16 @@ FUZZ_CONFIGS: dict[str, tuple[int, int, dict[str, int]]] = {
     "algorithm-5": (10, 1, {}),
     "informed-algorithm-2": (7, 2, {}),
     "phase-king": (9, 2, {}),
+    # the approximate / randomized workload family (float-valued params;
+    # ben-or's round cap keeps worst-case scripts bounded).
+    "midpoint-approx": (7, 2, {"eps": 0.25}),
+    "filtered-mean-approx": (7, 2, {"eps": 0.5}),
+    "ben-or": (6, 1, {"max_rounds": 8}),
     # strawmen: deliberately broken counterexample algorithms — fuzzable on
     # demand (and the seed corpus is built from them), excluded from "all".
     "strawman-undersigning": (6, 2, {}),
     "strawman-echo": (6, 2, {}),
+    "strawman-overshoot": (7, 2, {"eps": 0.25}),
 }
 
 #: The values every campaign tries (the paper's algorithms are binary).
@@ -68,10 +74,15 @@ class FuzzCase:
     value: Value
     seed: int
     script: AdversaryScript
-    params: tuple[tuple[str, int], ...] = ()
+    #: Algorithm tuning parameters; values may be ints (``s``, round caps)
+    #: or floats (``eps``, ``coin_bias``).
+    params: tuple[tuple[str, object], ...] = ()
     #: Delivery faults injected under the Byzantine script (chaos mode);
     #: ``None`` keeps the perfect lock-step network.
     fault_plan: FaultPlan | None = None
+    #: Coin-stream seed for ``uses_coins`` algorithms (derived per case,
+    #: like the script seed); ``None`` for the deterministic zoo.
+    coin_seed: int | None = None
 
     def build_algorithm(self) -> AgreementAlgorithm:
         return get(self.algorithm)(self.n, self.t, **dict(self.params))
@@ -83,6 +94,7 @@ class FuzzCase:
             self.value,
             self.script,
             fault_plan=self.fault_plan,
+            coin_seed=self.coin_seed,
         )
         return FuzzResult(case=self, outcome=outcome)
 
@@ -110,13 +122,14 @@ def plan_cases(
     budget: int,
     seed: int,
     values: Sequence[Value] = CAMPAIGN_VALUES,
-    configs: Mapping[str, tuple[int, int, dict[str, int]]] | None = None,
+    configs: Mapping[str, tuple[int, int, dict[str, object]]] | None = None,
 ) -> list[FuzzCase]:
     """Generate the full deterministic case list for a campaign.
 
     *budget* is per algorithm; case ``i`` fuzzes value ``values[i % len]``
     under the script of :func:`derive_seed`'s per-case seed, so the list is
-    a pure function of the arguments.
+    a pure function of the arguments.  Coin-flipping algorithms get a
+    second derived seed (lane ``"<name>/coin"``) for their coin stream.
     """
     configs = dict(configs) if configs is not None else FUZZ_CONFIGS
     cases: list[FuzzCase] = []
@@ -149,6 +162,11 @@ def plan_cases(
                     seed=case_seed,
                     script=script,
                     params=tuple(sorted(params.items())),
+                    coin_seed=(
+                        derive_seed(seed, name + "/coin", index)
+                        if algorithm.uses_coins
+                        else None
+                    ),
                 )
             )
     return cases
@@ -161,7 +179,7 @@ def plan_chaos_cases(
     seed: int,
     fault_rate: float,
     values: Sequence[Value] = CAMPAIGN_VALUES,
-    configs: Mapping[str, tuple[int, int, dict[str, int]]] | None = None,
+    configs: Mapping[str, tuple[int, int, dict[str, object]]] | None = None,
 ) -> list[FuzzCase]:
     """Chaos campaign: benign delivery faults instead of Byzantine scripts.
 
@@ -204,6 +222,11 @@ def plan_chaos_cases(
                     script=AdversaryScript(faulty=()),
                     params=tuple(sorted(params.items())),
                     fault_plan=plan,
+                    coin_seed=(
+                        derive_seed(seed, name + "/coin", index)
+                        if algorithm.uses_coins
+                        else None
+                    ),
                 )
             )
     return cases
@@ -252,14 +275,16 @@ def shrink_result(result: FuzzResult, *, max_attempts: int = 200) -> FuzzResult:
     def reproduce(candidate: AdversaryScript) -> bool:
         """Re-run one failure and check the verdict reproduces.
 
-        The case's fault plan (if any) is held fixed: shrinking minimises
-        the Byzantine script *under the same injected network faults*.
+        The case's fault plan and coin seed (if any) are held fixed:
+        shrinking minimises the Byzantine script *under the same injected
+        network faults and the same coin stream*.
         """
         probe = execute_script(
             result.case.build_algorithm(),
             value,
             candidate,
             fault_plan=result.case.fault_plan,
+            coin_seed=result.case.coin_seed,
         )
         return probe.verdict == target
 
@@ -283,6 +308,8 @@ class AlgorithmSummary:
     #: campaigns only; not a failure).
     benign: int = 0
     safety: int = 0
+    #: ε-agreement / ε-validity failures (approximate workloads only).
+    eps: int = 0
     bound: int = 0
     crash: int = 0
     worst_messages: int = 0
@@ -295,6 +322,7 @@ class AlgorithmSummary:
             "ok": self.ok,
             "benign": self.benign,
             "safety": self.safety,
+            "eps": self.eps,
             "bound": self.bound,
             "crash": self.crash,
             "worst msgs": self.worst_messages,
@@ -320,6 +348,8 @@ def summarize(results: Sequence[FuzzResult]) -> list[AlgorithmSummary]:
             summary.benign += 1
         elif verdict == "safety":
             summary.safety += 1
+        elif verdict == EPS_VIOLATION:
+            summary.eps += 1
         elif verdict == "bound":
             summary.bound += 1
         else:
@@ -333,16 +363,20 @@ def summarize(results: Sequence[FuzzResult]) -> list[AlgorithmSummary]:
 
 
 def default_algorithm_names() -> list[str]:
-    """The ``--algorithm all`` set: every real registered algorithm that
-    has a fuzz configuration (strawmen excluded — they are *supposed* to
-    fail; fuzz them by name)."""
-    return [name for name in ALGORITHMS if name in FUZZ_CONFIGS]
+    """The ``--algorithm all`` set: every real registered algorithm and
+    workload that has a fuzz configuration (strawmen excluded — they are
+    *supposed* to fail; fuzz them by name)."""
+    return [
+        name
+        for name in list(ALGORITHMS) + list(WORKLOADS)
+        if name in FUZZ_CONFIGS
+    ]
 
 
 def known_algorithm_names() -> list[str]:
     """Everything ``repro fuzz --algorithm`` accepts by name."""
     return [
         name
-        for name in list(ALGORITHMS) + list(STRAWMEN)
+        for name in list(ALGORITHMS) + list(WORKLOADS) + list(STRAWMEN)
         if name in FUZZ_CONFIGS
     ]

@@ -39,11 +39,18 @@ class CorpusEntry:
     verdict: str
     detail: str
     script: AdversaryScript
-    params: dict[str, int] = field(default_factory=dict)
+    #: Tuning parameters; ints (``s``, ``max_rounds``) stay ints and
+    #: floats (``eps``, ``coin_bias``) stay floats across the JSON
+    #: round-trip — both re-feed the algorithm constructor verbatim.
+    params: dict[str, int | float] = field(default_factory=dict)
     #: Injected delivery faults the counterexample needs (chaos campaigns);
     #: ``None`` for classic Byzantine-script findings, and omitted from the
     #: JSON so pre-fault corpus files round-trip unchanged.
     fault_plan: FaultPlan | None = None
+    #: Coin-stream seed for ``uses_coins`` algorithms; ``None`` for the
+    #: deterministic zoo, and omitted from the JSON in that case so
+    #: pre-coin corpus files round-trip unchanged.
+    coin_seed: int | None = None
 
     # ------------------------------------------------------------------ JSON
 
@@ -62,6 +69,8 @@ class CorpusEntry:
         }
         if self.fault_plan is not None and not self.fault_plan.is_empty:
             data["fault_plan"] = self.fault_plan.to_json_dict()
+        if self.coin_seed is not None:
+            data["coin_seed"] = self.coin_seed
         return data
 
     @classmethod
@@ -70,11 +79,18 @@ class CorpusEntry:
         if schema != CORPUS_SCHEMA:
             raise ValueError(f"unsupported corpus schema {schema!r}")
         plan_data = data.get("fault_plan")
+        coin_seed = data.get("coin_seed")
         return cls(
             algorithm=data["algorithm"],
             n=int(data["n"]),
             t=int(data["t"]),
-            params={k: int(v) for k, v in data.get("params", {}).items()},
+            # int-vs-float distinguishes e.g. s=2 from eps=0.25; bools are
+            # excluded because bool is an int subclass json never emits
+            # for these keys anyway.
+            params={
+                k: (float(v) if isinstance(v, float) else int(v))
+                for k, v in data.get("params", {}).items()
+            },
             value=data["value"],
             seed=int(data["seed"]),
             verdict=data["verdict"],
@@ -85,6 +101,7 @@ class CorpusEntry:
                 if plan_data is not None
                 else None
             ),
+            coin_seed=None if coin_seed is None else int(coin_seed),
         )
 
     def file_name(self) -> str:
@@ -139,6 +156,7 @@ def replay_entry(entry: CorpusEntry, *, sinks: tuple = ()):
         entry.script,
         sinks=sinks,
         fault_plan=entry.fault_plan,
+        coin_seed=entry.coin_seed,
     )
 
 

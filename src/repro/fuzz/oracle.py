@@ -31,10 +31,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.approx.base import ApproximateAgreement
+from repro.approx.validation import check_run_conditions
 from repro.core.protocol import AgreementAlgorithm
 from repro.core.runner import RunResult, run
 from repro.core.types import Value
-from repro.core.validation import check_byzantine_agreement
 from repro.fuzz.script import AdversaryScript
 from repro.transport.faults import FaultPlan, excused_processors
 from repro.transport.faulty import FaultyTransport
@@ -47,6 +48,11 @@ CRASH = "crash"
 #: Divergence fully attributable to injected benign delivery faults —
 #: expected under crash/omission faults, not a finding.
 BENIGN = "benign"
+#: The ε-agreement conditions failed: correct processors ended more than
+#: ``eps`` apart, or outside the correct-input range (ε-validity).  A
+#: distinct verdict class so the shrinker preserves it and campaign
+#: tables separate "approximately wrong" from exact-BA safety.
+EPS_VIOLATION = "eps_violation"
 
 
 @dataclass(frozen=True)
@@ -71,7 +77,17 @@ def classify_run(algorithm: AgreementAlgorithm, result: RunResult) -> FuzzOutcom
     (i.e. executed under a fault-injecting transport) is judged with the
     crash-tolerant expectations from the module docstring; a clean run
     gets the plain Byzantine reading.
+
+    The conditions checked depend on the algorithm's family
+    (:func:`~repro.approx.validation.check_run_conditions`): exact BA for
+    the zoo, ε-agreement + ε-validity for approximate agreement (failure
+    verdict ``eps_violation``), agreement + unanimity-validity for
+    randomized consensus (still ``safety``; probabilistic termination is
+    judged statistically, not per run).
     """
+    fail_verdict = (
+        EPS_VIOLATION if isinstance(algorithm, ApproximateAgreement) else SAFETY
+    )
     metrics = result.metrics
     counts = dict(
         messages=metrics.messages_by_correct,
@@ -80,7 +96,7 @@ def classify_run(algorithm: AgreementAlgorithm, result: RunResult) -> FuzzOutcom
     )
     if result.fault_events:
         excused = excused_processors(result.fault_events) & result.correct
-        survivors_report = check_byzantine_agreement(result, excused=excused)
+        survivors_report = check_run_conditions(result, algorithm, excused=excused)
         if not survivors_report.ok:
             # Guarantees only bind while faulty ∪ excused fits the
             # tolerance t; past the budget any divergence is benign.
@@ -92,8 +108,10 @@ def classify_run(algorithm: AgreementAlgorithm, result: RunResult) -> FuzzOutcom
                     detail=f"fault budget exceeded: {survivors_report}",
                     **counts,
                 )
-            return FuzzOutcome(verdict=SAFETY, detail=str(survivors_report), **counts)
-        full_report = check_byzantine_agreement(result)
+            return FuzzOutcome(
+                verdict=fail_verdict, detail=str(survivors_report), **counts
+            )
+        full_report = check_run_conditions(result, algorithm)
         if not full_report.ok:
             return FuzzOutcome(
                 verdict=BENIGN,
@@ -104,9 +122,9 @@ def classify_run(algorithm: AgreementAlgorithm, result: RunResult) -> FuzzOutcom
         # Survivors and excused all agree: fall through to the declared
         # bounds (faults never add sends, but the budgets must still hold).
     else:
-        report = check_byzantine_agreement(result)
+        report = check_run_conditions(result, algorithm)
         if not report.ok:
-            return FuzzOutcome(verdict=SAFETY, detail=str(report), **counts)
+            return FuzzOutcome(verdict=fail_verdict, detail=str(report), **counts)
 
     message_bound = algorithm.upper_bound_messages()
     if message_bound is not None and metrics.messages_by_correct > message_bound:
@@ -152,6 +170,7 @@ def execute_script(
     record_history: bool = False,
     sinks: tuple = (),
     fault_plan: FaultPlan | None = None,
+    coin_seed: int | None = None,
 ) -> FuzzOutcome:
     """Run *script* against *algorithm* and classify the outcome.
 
@@ -162,12 +181,22 @@ def execute_script(
     evidence.  A non-empty *fault_plan* routes delivery through a
     :class:`~repro.transport.faulty.FaultyTransport`, switching
     :func:`classify_run` into its crash-tolerant reading.
+
+    *coin_seed* feeds coin-flipping algorithms (``uses_coins``): the run
+    gets ``algorithm.make_coin_source(coin_seed)``, so a persisted case
+    replays the exact coin stream that produced its verdict.  Ignored —
+    and irrelevant — for deterministic algorithms.
     """
     transport = (
         FaultyTransport(fault_plan)
         if fault_plan is not None and not fault_plan.is_empty
         else None
     )
+    coins = None
+    if algorithm.uses_coins:
+        make_coins = getattr(algorithm, "make_coin_source", None)
+        if make_coins is not None:
+            coins = make_coins(0 if coin_seed is None else coin_seed)
     try:
         result = run(
             algorithm,
@@ -176,6 +205,7 @@ def execute_script(
             record_history=record_history,
             sinks=sinks,
             transport=transport,
+            coins=coins,
         )
     except Exception as error:
         return FuzzOutcome(

@@ -90,14 +90,28 @@ class SourceFile:
         return "crypto" in self.path.parts
 
     @property
+    def in_approx(self) -> bool:
+        return "approx" in self.path.parts
+
+    @property
     def is_core_protocol(self) -> bool:
         return self.path.name == "protocol.py" and self.path.parent.name == "core"
 
     @property
     def protocol_code(self) -> bool:
         """True for the files the determinism discipline applies to:
-        ``algorithms/``, ``core/protocol.py`` and ``crypto/``."""
-        return self.in_algorithms or self.in_crypto or self.is_core_protocol
+        ``algorithms/``, ``approx/``, ``core/protocol.py`` and ``crypto/``.
+
+        The approximate/randomized workloads are held to the same standard:
+        their only entropy is the seeded
+        :class:`~repro.approx.coins.CoinSource`, never ``random``/``time``.
+        """
+        return (
+            self.in_algorithms
+            or self.in_approx
+            or self.in_crypto
+            or self.is_core_protocol
+        )
 
     def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
         return Finding(

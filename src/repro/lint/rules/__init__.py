@@ -1,6 +1,6 @@
 """The built-in repro lint rules.  Importing this package registers them.
 
-BA001-BA005 are per-file syntactic rules; BA006-BA009 live in
+BA001-BA005 and BA010 are per-file syntactic rules; BA006-BA009 live in
 :mod:`repro.lint.analysis` and reason over the whole program through the
 protocol call graph.
 """
@@ -14,6 +14,7 @@ from repro.lint.rules.ba002_bounds import BoundDeclarationRule
 from repro.lint.rules.ba003_signing import SigningDisciplineRule
 from repro.lint.rules.ba004_envelope import EnvelopeImmutabilityRule
 from repro.lint.rules.ba005_fanout import DictFanoutRule
+from repro.lint.rules.ba010_convergence import ConvergenceRateRule
 
 __all__ = [
     "DeterminismRule",
@@ -21,6 +22,7 @@ __all__ = [
     "SigningDisciplineRule",
     "EnvelopeImmutabilityRule",
     "DictFanoutRule",
+    "ConvergenceRateRule",
     "MessageBudgetRule",
     "SignatureBudgetRule",
     "UnverifiedRelayRule",

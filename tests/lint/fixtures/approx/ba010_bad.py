@@ -1,0 +1,38 @@
+"""Seeded BA010 violations: missing, malformed, and non-contracting rates."""
+
+from repro.approx.base import ApproximateAgreement
+
+
+class MissingRate(ApproximateAgreement):
+    """An approximate algorithm with no declared contraction at all."""
+
+    name = "missing-rate"
+    phase_bound = "m"
+    message_bound = "m * n * (n - 1)"
+
+
+class NonLiteralRate(ApproximateAgreement):
+    """The rate must be a string literal of the bound language."""
+
+    name = "non-literal-rate"
+    phase_bound = "m"
+    message_bound = "m * n * (n - 1)"
+    convergence_rate = 0.5  # must be a string expression
+
+
+class DivergentRate(ApproximateAgreement):
+    """A 'rate' of 3/2 grows the diameter every round."""
+
+    name = "divergent-rate"
+    phase_bound = "m"
+    message_bound = "m * n * (n - 1)"
+    convergence_rate = "3 / 2"
+
+
+class SentinelRate(ApproximateAgreement):
+    """Sentinels defeat the discipline: m is computed from the rate."""
+
+    name = "sentinel-rate"
+    phase_bound = "m"
+    message_bound = "m * n * (n - 1)"
+    convergence_rate = "derived"

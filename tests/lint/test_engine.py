@@ -26,10 +26,14 @@ RULE_IDS = (
     "BA007",
     "BA008",
     "BA009",
+    "BA010",
 )
 #: Rules whose violation fixture does not follow the
 #: ``algorithms/<id>_bad.py`` convention.
-FIXTURE_OVERRIDES = {"BA009": Path("analysis") / "parallel.py"}
+FIXTURE_OVERRIDES = {
+    "BA009": Path("analysis") / "parallel.py",
+    "BA010": Path("approx") / "ba010_bad.py",
+}
 
 
 def test_registry_exposes_all_rules():

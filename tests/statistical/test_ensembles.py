@@ -1,0 +1,118 @@
+"""Seeded ensemble statistics for the randomized workloads.
+
+Every test here is deterministic: samples come from
+:class:`~repro.approx.coins.CoinSource` streams keyed by fixed seeds,
+never from ``random``.  The suite has two halves:
+
+* **positive checks** — with honest parameters the ensembles pass their
+  KS / chi-square gates at the documented significance levels;
+* **negative controls** — a deliberately biased coin must be *detected*,
+  both directly (exact binomial test on the flip stream) and through the
+  protocol (the Ben-Or round histogram rejects the fair-coin geometric
+  model).  A harness that cannot flag a rigged coin is not verifying
+  anything.
+
+Select or skip the whole suite with ``-m statistical``.
+"""
+
+import pytest
+
+from repro.approx.coins import CoinSource
+from repro.approx.stats import (
+    benor_success_probability,
+    bin_round_counts,
+    binomial_tail_ge,
+    chi_square_pvalue,
+    geometric_bin_probabilities,
+    ks_critical,
+    ks_statistic,
+    run_statistical_smoke,
+    sample_benor_rounds,
+)
+
+pytestmark = pytest.mark.statistical
+
+
+def _uniform_cdf(x: float) -> float:
+    return min(1.0, max(0.0, x))
+
+
+def _chi2_vs_geometric(samples, p, bins=3):
+    count = len(samples)
+    observed = bin_round_counts(samples, bins)
+    expected = [count * cell for cell in geometric_bin_probabilities(p, bins)]
+    return chi_square_pvalue(observed, expected)
+
+
+class TestCoinUniformity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 19])
+    def test_uniform_draws_pass_ks(self, seed):
+        coins = CoinSource(seed)
+        draws = [coins.uniform(lane, r) for lane in range(10) for r in range(100)]
+        assert ks_statistic(draws, _uniform_cdf) < ks_critical(len(draws), 0.01)
+
+    def test_fair_flips_pass_exact_binomial(self):
+        coins = CoinSource(0)
+        n = 1000
+        ones = sum(coins.flip(0, r) for r in range(n))
+        # Two-sided exact test at alpha = 0.01: neither tail is extreme.
+        assert binomial_tail_ge(n, ones, 0.5) > 0.005
+        assert binomial_tail_ge(n, n - ones, 0.5) > 0.005
+
+
+class TestGeometricTail:
+    def test_success_probability_closed_form(self):
+        # thr = 4 at (6, 1); 2 * P[Bin(6, 1/2) >= 4] = 2 * 22/64.
+        assert benor_success_probability(6, 1, 0.5) == pytest.approx(0.6875)
+
+    def test_success_probability_symmetric_in_bias(self):
+        assert benor_success_probability(6, 1, 0.3) == pytest.approx(
+            benor_success_probability(6, 1, 0.7)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 42])
+    def test_fair_rounds_match_geometric_model(self, seed):
+        samples = sample_benor_rounds(6, 1, 0.5, 150, seed=seed)
+        p = benor_success_probability(6, 1, 0.5)
+        assert _chi2_vs_geometric(samples, p) > 1e-3
+
+    def test_biased_rounds_match_their_own_model(self):
+        """A bias-0.85 coin is honest about itself: the round histogram
+        fits Geom(q) for the *biased* success probability q."""
+        samples = sample_benor_rounds(6, 1, 0.85, 120, seed=0)
+        q = benor_success_probability(6, 1, 0.85)
+        assert _chi2_vs_geometric(samples, q, bins=2) > 1e-3
+
+    def test_heavier_bias_decides_faster(self):
+        fair = sample_benor_rounds(6, 1, 0.5, 60, seed=0)
+        biased = sample_benor_rounds(6, 1, 0.85, 60, seed=0)
+        assert None not in fair and None not in biased
+        assert sum(biased) / len(biased) < sum(fair) / len(fair)
+
+    def test_censored_runs_land_in_tail_bin(self):
+        assert bin_round_counts([1, 2, None, 5], 3) == [1, 1, 2]
+
+
+class TestNegativeControls:
+    """A rigged coin must not slip past the harness (acceptance gate)."""
+
+    def test_biased_flip_stream_rejects_fairness(self):
+        coins = CoinSource(0, bias=0.85)
+        n = 1000
+        ones = sum(coins.flip(0, r) for r in range(n))
+        # ~850 ones; the exact binomial tail under H0: fair is astronomical.
+        assert binomial_tail_ge(n, ones, 0.5) < 1e-9
+
+    def test_biased_benor_rounds_reject_fair_model(self):
+        """The bias leaks through the protocol: biased-coin round counts
+        are far too concentrated for the fair-coin geometric model."""
+        samples = sample_benor_rounds(6, 1, 0.85, 120, seed=0)
+        fair_p = benor_success_probability(6, 1, 0.5)
+        assert _chi2_vs_geometric(samples, fair_p) < 1e-6
+
+
+class TestSmokeGate:
+    def test_smoke_passes_and_reports(self):
+        report = run_statistical_smoke(seed=0)
+        assert report["coin_ks"] < report["coin_ks_critical"]
+        assert report["benor_chi2_pvalue"] > 1e-3

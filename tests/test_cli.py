@@ -157,7 +157,7 @@ class TestLintCommand:
         out = capsys.readouterr().out
         for rule_id in (
             "BA001", "BA002", "BA003", "BA004", "BA005",
-            "BA006", "BA007", "BA008", "BA009",
+            "BA006", "BA007", "BA008", "BA009", "BA010",
         ):
             assert rule_id in out
         assert "ba001_bad.py:3:1" in out
@@ -172,12 +172,12 @@ class TestLintCommand:
         assert payload["ok"] is False
         assert payload["rules_run"] == [
             "BA001", "BA002", "BA003", "BA004", "BA005",
-            "BA006", "BA007", "BA008", "BA009",
+            "BA006", "BA007", "BA008", "BA009", "BA010",
         ]
         rules_hit = {f["rule"] for f in payload["findings"]}
         assert rules_hit == {
             "BA001", "BA002", "BA003", "BA004", "BA005",
-            "BA006", "BA007", "BA008", "BA009",
+            "BA006", "BA007", "BA008", "BA009", "BA010",
         }
 
     def test_lint_sarif_format(self, capsys):
