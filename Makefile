@@ -1,6 +1,6 @@
 PYTHON ?= python
 
-.PHONY: test lint lint-protocol lint-baseline check bench bench-compare bench-batch benchmarks fuzz fuzz-smoke chaos-smoke approx-smoke docs-check
+.PHONY: test lint lint-protocol lint-baseline check bench bench-compare bench-batch benchmarks fuzz fuzz-smoke chaos-smoke approx-smoke serve-smoke docs-check
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -23,13 +23,14 @@ lint-baseline:
 
 check: lint test
 
-# Time the fixed perf basket and (re)write the committed baseline point.
+# Time the fixed perf basket (median of 3 trials) and (re)write the
+# committed baseline point, service:* throughput cases included.
 bench:
-	PYTHONPATH=src $(PYTHON) -m repro bench --output BENCH_runner.json
+	PYTHONPATH=src $(PYTHON) -m repro bench --trials 3 --output BENCH_runner.json
 
 # Diff a fresh bench run against the committed baseline (exit 1 on >25%).
 bench-compare:
-	PYTHONPATH=src $(PYTHON) -m repro bench --output /tmp/bench_current.json
+	PYTHONPATH=src $(PYTHON) -m repro bench --trials 3 --output /tmp/bench_current.json
 	PYTHONPATH=src $(PYTHON) scripts/bench_compare.py BENCH_runner.json /tmp/bench_current.json
 
 # Batch-engine perf gate: every batch:* case must reach 10x the
@@ -71,3 +72,14 @@ chaos-smoke:
 # eps-convergence), sized well under 10s.  Deterministic for the seed.
 approx-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro approx-smoke --seed 0
+
+# Service smoke: a seeded open-loop traffic run (mixed workloads, 20%
+# faulty) through the agreement scheduler, sized under ~10s.  The
+# loadgen exits non-zero on any non-ok verdict; the follow-up assertion
+# additionally pins non-zero measured throughput.  Verdicts are
+# deterministic for the seed (timing figures are not).
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro loadgen --requests 600 --rate 200 \
+		--seed 0 --fault-rate 0.2 --workers 2 \
+		--metrics-out /tmp/serve_smoke.json
+	$(PYTHON) -c "import json; case = json.load(open('/tmp/serve_smoke.json'))['cases']['service:loadgen']; assert case['failed'] == 0 and (case['agreements_per_sec'] or 0) > 0, case; print('serve-smoke: ok')"

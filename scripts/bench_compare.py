@@ -4,7 +4,7 @@
 Usage::
 
     python scripts/bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
-        [--min-batch-speedup 5] [--update]
+        [--min-batch-speedup 5] [--min-service-rate 20] [--trials 3] [--update]
 
 Cases are matched by key and printed **worst delta first**; a case is a
 *regression* when its current wall-clock exceeds the baseline by more
@@ -18,6 +18,16 @@ messages/sec of the scalar ``runner:*`` case it names as
 ``baseline_case`` (both rates come from the same file, so the gate is
 machine-independent).
 
+``--min-service-rate X`` gates the service layer the same way: every
+``service:*`` case in the *current* file must report at least ``X``
+agreements/sec — an absolute single-machine floor, so keep it
+conservative (an order of magnitude under a healthy run).
+
+``--trials N`` requires the *current* document to have been produced
+with ``repro bench --trials N`` or more (median-of-trials timing); it
+exists so CI can prove the noise-reduction knob was actually on.  A
+baseline pinned with a different trial count gets a note, not a failure.
+
 ``--update`` rewrites the baseline file with the current document after
 reporting — use it to re-pin ``BENCH_runner.json`` after an intentional
 perf change.  Wall-clock regressions do not fail an update run (that is
@@ -25,8 +35,8 @@ the point of re-pinning); a ``--min-batch-speedup`` floor violation still
 does.
 
 Exit code 0 means no regression, 1 means at least one case regressed or
-missed the batch floor, 2 means the inputs could not be read or are not
-bench JSONs.
+missed a floor, 2 means the inputs could not be read, are not bench
+JSONs, or were produced with fewer trials than ``--trials`` demands.
 
 Timing noise caveat: the committed ``BENCH_runner.json`` baseline was
 produced on one specific machine.  Cross-machine comparisons are only
@@ -158,6 +168,68 @@ def check_batch_floor(document: dict, minimum: float) -> int:
     return 0
 
 
+def check_service_floor(document: dict, minimum: float) -> int:
+    """Gate every ``service:*`` case at *minimum* agreements/sec.
+
+    An absolute floor (unlike the batch gate's same-file ratio): the
+    point is catching a service path that fell off a cliff, so the floor
+    should sit well under a healthy machine's rate.  A service case with
+    no ``agreements_per_sec`` fails loudly rather than passing silently.
+    """
+    cases = document["cases"]
+    service_keys = sorted(key for key in cases if str(key).startswith("service:"))
+    if not service_keys:
+        print(f"service floor: no service:* cases found (need >= {minimum:g}/s)")
+        return 1
+    failures = 0
+    for key in service_keys:
+        rate = cases[key].get("agreements_per_sec")
+        if not rate:
+            print(f"{key}: no agreements_per_sec recorded  << FLOOR FAIL")
+            failures += 1
+            continue
+        flag = ""
+        if float(rate) < minimum:
+            failures += 1
+            flag = "  << FLOOR FAIL"
+        print(
+            f"{key}: {float(rate):,.1f} agreements/s "
+            f"(floor {minimum:g}/s){flag}"
+        )
+    if failures:
+        print(
+            f"\nFAIL: {failures} service case(s) under the {minimum:g} "
+            f"agreements/sec floor"
+        )
+        return 1
+    print(
+        f"\nOK: all {len(service_keys)} service case(s) at >= "
+        f"{minimum:g} agreements/sec"
+    )
+    return 0
+
+
+def check_trials(baseline: dict, current: dict, minimum: int) -> int:
+    """Require CURRENT to carry a ``trials`` count of at least *minimum*."""
+    current_trials = int(current.get("trials", 1))
+    baseline_trials = int(baseline.get("trials", 1))
+    if baseline_trials != current_trials:
+        print(
+            f"note: trial counts differ (baseline {baseline_trials}, "
+            f"current {current_trials}); medians are still comparable"
+        )
+    if current_trials < minimum:
+        print(
+            f"FAIL: current document ran {current_trials} timing trial(s); "
+            f"this gate requires --trials {minimum} or more on repro bench"
+        )
+        # A too-low trial count is a misconfigured input, not a perf
+        # regression — same exit class as an unreadable document.
+        return 2
+    print(f"OK: current document ran {current_trials} timing trial(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline bench JSON (e.g. BENCH_runner.json)")
@@ -177,21 +249,48 @@ def main(argv: list[str] | None = None) -> int:
         "messages/sec of its baseline_case runner (same-file ratio)",
     )
     parser.add_argument(
+        "--min-service-rate",
+        type=float,
+        default=None,
+        metavar="X",
+        help="require every service:* case in CURRENT to reach X "
+        "agreements/sec (absolute single-machine floor; keep conservative)",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=None,
+        metavar="N",
+        help="require CURRENT to have been produced with repro bench "
+        "--trials N or more (exit 2 otherwise)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite BASELINE with CURRENT after reporting (regressions do "
-        "not fail an update; a batch floor violation still does)",
+        "not fail an update; floor and trial violations still do)",
     )
     args = parser.parse_args(argv)
     baseline = load_bench(args.baseline)
     current = load_bench(args.current)
+    if args.trials is not None:
+        trial_code = check_trials(baseline, current, args.trials)
+        if trial_code:
+            return trial_code
+        print()
     exit_code = compare(baseline, current, args.threshold)
+    floor_code = 0
     if args.min_batch_speedup is not None:
         print()
-        floor_code = check_batch_floor(current, args.min_batch_speedup)
-        exit_code = max(exit_code, floor_code)
-    else:
-        floor_code = 0
+        floor_code = max(
+            floor_code, check_batch_floor(current, args.min_batch_speedup)
+        )
+    if args.min_service_rate is not None:
+        print()
+        floor_code = max(
+            floor_code, check_service_floor(current, args.min_service_rate)
+        )
+    exit_code = max(exit_code, floor_code)
     if args.update:
         with open(args.baseline, "w", encoding="utf-8") as handle:
             json.dump(current, handle, indent=2, sort_keys=True)

@@ -35,7 +35,8 @@ else
 fi
 
 # Docs gate: links, fenced JSON examples, and the runnable `$ repro ...`
-# examples in docs/telemetry.md.  Dependency-free; disable with DOCS_CHECK=0.
+# examples in docs/telemetry.md and docs/service.md.  Dependency-free;
+# disable with DOCS_CHECK=0.
 if [ "${DOCS_CHECK:-1}" != "0" ]; then
     echo "== docs check =="
     python scripts/docs_check.py || status=1
@@ -53,13 +54,21 @@ fi
 # same-machine floor: every batch:* case must move at least
 # BATCH_SMOKE_SPEEDUP (default 5) times the messages/sec of its scalar
 # runner baseline — a *ratio* within one run, so it is noise-tolerant.
+# The service layer is held to an absolute SERVE_RATE_FLOOR (default 20)
+# agreements/sec on every service:* case — set an order of magnitude
+# under a healthy run, so only a cliff trips it.  Timings are the median
+# of PERF_SMOKE_TRIALS (default 3) independent trials, which strips
+# whole-trial outliers; bench_compare --trials verifies the knob was on.
 if [ -f BENCH_runner.json ] && [ "${PERF_SMOKE:-1}" != "0" ]; then
     echo "== perf smoke =="
     current="$(mktemp /tmp/bench_current.XXXXXX.json)"
-    if PYTHONPATH=src python -m repro bench --output "$current" >/dev/null; then
+    if PYTHONPATH=src python -m repro bench \
+            --trials "${PERF_SMOKE_TRIALS:-3}" --output "$current" >/dev/null; then
         PYTHONPATH=src python scripts/bench_compare.py BENCH_runner.json "$current" \
             --threshold "${PERF_SMOKE_THRESHOLD:-0.5}" \
-            --min-batch-speedup "${BATCH_SMOKE_SPEEDUP:-5}" || status=1
+            --trials "${PERF_SMOKE_TRIALS:-3}" \
+            --min-batch-speedup "${BATCH_SMOKE_SPEEDUP:-5}" \
+            --min-service-rate "${SERVE_RATE_FLOOR:-20}" || status=1
     else
         echo "perf smoke: repro bench failed"
         status=1
@@ -102,6 +111,17 @@ if [ "${APPROX_SMOKE:-1}" != "0" ]; then
     PYTHONPATH=src python -m repro approx-smoke --seed 0 || status=1
 else
     echo "== approx smoke == (APPROX_SMOKE=0, skipped)"
+fi
+
+# Service smoke: a seeded mixed-workload traffic run (20% faulty) through
+# the agreement scheduler.  `make serve-smoke` exits non-zero on any
+# non-ok verdict (a disagreement the injected faults cannot excuse) or
+# on zero measured throughput.  Disable with SERVE_SMOKE=0.
+if [ "${SERVE_SMOKE:-1}" != "0" ]; then
+    echo "== serve smoke =="
+    make --no-print-directory serve-smoke || status=1
+else
+    echo "== serve smoke == (SERVE_SMOKE=0, skipped)"
 fi
 
 exit "$status"

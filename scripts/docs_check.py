@@ -10,13 +10,15 @@ Checks, in order:
 2. **Fenced JSON** — every ```` ```json ```` block in the checked files
    must parse.
 3. **Worked examples** — the ``$ repro ...`` lines inside
-   ```` ```console ```` blocks of ``docs/telemetry.md`` are executed in
-   order in one shared temporary directory (as
+   ```` ```console ```` blocks of every doc in ``COMMAND_DOCS``
+   (``docs/telemetry.md``, ``docs/service.md``) are executed in order,
+   one shared temporary directory per doc (as
    ``PYTHONPATH=src python -m repro ...``); each must exit 0.  Later
    commands may consume files written by earlier ones, mirroring how a
    reader would type them.
-4. **Schema pin** — ``docs/telemetry.md`` must mention the current
-   ``TRACE_SCHEMA`` string, so a schema bump cannot leave the docs
+4. **Schema pins** — ``docs/telemetry.md`` must mention the current
+   ``TRACE_SCHEMA`` string and ``docs/service.md`` the current
+   ``SERVICE_SCHEMA`` string, so a schema bump cannot leave the docs
    describing a format the code no longer writes.
 
 Run via ``make docs-check`` (wired into ``scripts/check.sh``).
@@ -34,7 +36,12 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
-COMMAND_DOC = REPO / "docs" / "telemetry.md"
+#: Docs whose ``$ repro ...`` console examples are executed, each with
+#: the module attribute its text must pin (``None``: no schema pin).
+COMMAND_DOCS: list[tuple[Path, str | None]] = [
+    (REPO / "docs" / "telemetry.md", "TRACE_SCHEMA"),
+    (REPO / "docs" / "service.md", "SERVICE_SCHEMA"),
+]
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE = re.compile(r"^```(\w*)\s*$")
@@ -125,16 +132,21 @@ def run_doc_commands(path: Path, errors: list[str]) -> int:
     return len(commands)
 
 
-def check_schema_pin(path: Path, errors: list[str]) -> None:
+def check_schema_pin(path: Path, attribute: str, errors: list[str]) -> None:
+    """Fail unless *path* mentions the current value of ``repro.<attribute>``."""
     sys.path.insert(0, str(REPO / "src"))
     try:
         from repro.obs import TRACE_SCHEMA
+        from repro.service import SERVICE_SCHEMA
     finally:
         sys.path.remove(str(REPO / "src"))
-    if TRACE_SCHEMA not in path.read_text(encoding="utf-8"):
+    schema = {"TRACE_SCHEMA": TRACE_SCHEMA, "SERVICE_SCHEMA": SERVICE_SCHEMA}[
+        attribute
+    ]
+    if schema not in path.read_text(encoding="utf-8"):
         errors.append(
-            f"{path.relative_to(REPO)}: does not mention the current trace "
-            f"schema {TRACE_SCHEMA!r}"
+            f"{path.relative_to(REPO)}: does not mention the current "
+            f"{attribute.split('_')[0].lower()} schema {schema!r}"
         )
 
 
@@ -143,8 +155,14 @@ def main() -> int:
     for path in DOC_FILES:
         check_links(path, errors)
         check_json_fences(path, errors)
-    executed = run_doc_commands(COMMAND_DOC, errors)
-    check_schema_pin(COMMAND_DOC, errors)
+    executed = 0
+    for path, pin in COMMAND_DOCS:
+        if not path.exists():
+            errors.append(f"{path.relative_to(REPO)}: command doc is missing")
+            continue
+        executed += run_doc_commands(path, errors)
+        if pin is not None:
+            check_schema_pin(path, pin, errors)
     files = ", ".join(str(p.relative_to(REPO)) for p in DOC_FILES)
     print(f"docs-check: {len(DOC_FILES)} files ({files}); "
           f"{executed} documented commands executed")

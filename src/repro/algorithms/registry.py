@@ -42,6 +42,12 @@ class AlgorithmInfo:
     source: str  # citation within the paper
     phases_formula: str
     messages_formula: str
+    #: Workload family: ``"exact"`` (classic BA), ``"approx"``
+    #: (ε-agreement) or ``"randomized"`` (probabilistic termination,
+    #: flips coins).  ``repro list`` shows it and the service load
+    #: generator uses it to pick valid mixes (coin seeds for randomized
+    #: entries, fault plans for exact ones).
+    family: str = "exact"
 
     def __call__(self, n: int, t: int, **params) -> AgreementAlgorithm:
         return self.build(n, t, **params)
@@ -151,6 +157,7 @@ STRAWMEN: dict[str, AlgorithmInfo] = {
             source="counterexample: untrimmed midpoint breaks ε-validity",
             phases_formula="m",
             messages_formula="m n (n-1)",
+            family="approx",
         ),
     )
 }
@@ -169,6 +176,7 @@ WORKLOADS: dict[str, AlgorithmInfo] = {
             source="ε-agreement, midpoint rule (DLPSW 1986; n > 3t)",
             phases_formula="m = ceil(log2(K/eps))",
             messages_formula="m n (n-1)",
+            family="approx",
         ),
         AlgorithmInfo(
             name="filtered-mean-approx",
@@ -177,6 +185,7 @@ WORKLOADS: dict[str, AlgorithmInfo] = {
             source="ε-agreement, trimmed-mean rule (rate t/(n-2t); n > 3t)",
             phases_formula="m = ceil(log_{1/rate}(K/eps))",
             messages_formula="m n (n-1)",
+            family="approx",
         ),
         AlgorithmInfo(
             name="ben-or",
@@ -185,6 +194,7 @@ WORKLOADS: dict[str, AlgorithmInfo] = {
             source="randomized consensus (Ben-Or 1983; n > 5t)",
             phases_formula="2 per round, geometric rounds",
             messages_formula="2 m n (n-1) cap",
+            family="randomized",
         ),
     )
 }

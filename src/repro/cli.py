@@ -100,6 +100,7 @@ def cmd_list(_: argparse.Namespace) -> int:
     rows = [
         {
             "name": info.name,
+            "family": info.family,
             "authenticated": info.authenticated,
             "source": info.source,
             "phases": info.phases_formula,
@@ -455,15 +456,34 @@ BENCH_BATCH_QUICK: tuple[tuple[str, int, int, int], ...] = (
     ("oral-messages", 9, 2, 2048),
 )
 
+#: Service-layer throughput cases: ``(label, requests, fault_rate)``.
+#: Each replays a seeded open-loop traffic run (default workload mix)
+#: through the :class:`~repro.service.scheduler.Scheduler` with one
+#: worker, so the reported agreements/sec is a stable single-core floor —
+#: the number ``scripts/bench_compare.py --min-service-rate`` gates on.
+BENCH_SERVICE: tuple[tuple[str, int, float], ...] = (
+    ("mixed", 400, 0.0),
+    ("faulty", 200, 0.2),
+)
+
+BENCH_SERVICE_QUICK: tuple[tuple[str, int, float], ...] = (
+    ("mixed", 120, 0.0),
+    ("faulty", 60, 0.2),
+)
+
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Time the fixed scenario basket and write a ``BENCH_*.json`` point.
 
     The JSON (schema ``repro-bench/1``) is the unit of the repo's perf
     trajectory: ``scripts/bench_compare.py`` diffs two of them and fails on
-    regression.  Timings are min-of-``--repeat`` wall-clock seconds.
+    regression.  Each case's figure is the **median over ``--trials``** of
+    min-of-``--repeat`` wall-clock seconds — the min strips scheduler
+    noise within a trial, the median strips whole-trial outliers (a GC
+    pause, a noisy neighbour), which is what keeps the perf smoke quiet.
     """
     import json
+    import statistics
     import time
     from functools import partial
 
@@ -472,8 +492,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     workers = args.workers if args.workers is not None else default_workers()
     repeat = max(1, args.repeat)
+    trials = max(1, args.trials)
     basket = BENCH_BASKET_QUICK if args.quick else BENCH_BASKET
     batch_basket = BENCH_BATCH_QUICK if args.quick else BENCH_BATCH
+    service_basket = BENCH_SERVICE_QUICK if args.quick else BENCH_SERVICE
     cases: dict[str, dict[str, object]] = {}
 
     profiler = None
@@ -485,14 +507,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     for name, n, t in basket:
         info = get(name)
-        seconds = float("inf")
+        trial_seconds: list[float] = []
         messages = 0
-        for _ in range(repeat):
-            algorithm = info(n, t)
-            started = time.perf_counter()
-            result = run_algorithm(algorithm, 1, record_history=False)
-            seconds = min(seconds, time.perf_counter() - started)
-            messages = result.metrics.messages_by_correct
+        for _ in range(trials):
+            best = float("inf")
+            for _ in range(repeat):
+                algorithm = info(n, t)
+                started = time.perf_counter()
+                result = run_algorithm(algorithm, 1, record_history=False)
+                best = min(best, time.perf_counter() - started)
+                messages = result.metrics.messages_by_correct
+            trial_seconds.append(best)
+        seconds = statistics.median(trial_seconds)
         cases[f"runner:{name}"] = {
             "kind": "runner",
             "n": n,
@@ -506,16 +532,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for name, n, t, runs in batch_basket:
         info = get(name)
         values = [run % 2 for run in range(runs)]
-        seconds = float("inf")
+        trial_seconds = []
         messages = 0
         stats_json: dict[str, object] = {}
-        for _ in range(repeat):
-            algorithm = info(n, t)
-            started = time.perf_counter()
-            batch = run_batch(algorithm, values)
-            seconds = min(seconds, time.perf_counter() - started)
-            messages = sum(o.messages_by_correct for o in batch.outcomes)
-            stats_json = batch.stats.to_json_dict()
+        for _ in range(trials):
+            best = float("inf")
+            for _ in range(repeat):
+                algorithm = info(n, t)
+                started = time.perf_counter()
+                batch = run_batch(algorithm, values)
+                best = min(best, time.perf_counter() - started)
+                messages = sum(o.messages_by_correct for o in batch.outcomes)
+                stats_json = batch.stats.to_json_dict()
+            trial_seconds.append(best)
+        seconds = statistics.median(trial_seconds)
         cases[f"batch:{name}"] = {
             "kind": "batch",
             "n": n,
@@ -538,7 +568,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         stats.sort_stats("cumulative").print_stats(20)
         print(
             "repro bench --profile: top-20 cumulative hotspots over the "
-            "runner and batch baskets (sweep case and JSON output skipped)"
+            "runner and batch baskets (sweep/service cases and JSON "
+            "output skipped)"
         )
         return 0
 
@@ -564,10 +595,55 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "messages_per_sec": round(swept_messages / seconds, 1) if seconds else None,
     }
 
+    # Service-layer throughput: one seeded open-loop traffic run per
+    # case, one worker — a stable single-core agreements/sec floor.
+    from repro.service import Scheduler, generate_schedule
+
+    for label, requests, fault_rate in service_basket:
+        schedule = generate_schedule(
+            requests=requests, rate=50_000.0, seed=7, fault_rate=fault_rate
+        )
+        trial_stats = []
+        for _ in range(trials):
+            report = Scheduler(workers=1).serve(schedule)
+            trial_stats.append(report.stats)
+        trial_stats.sort(key=lambda s: s.wall_s)
+        service_stats = trial_stats[len(trial_stats) // 2]
+        e2e = service_stats.e2e
+        cases[f"service:{label}"] = {
+            "kind": "service",
+            "requests": requests,
+            "ok": service_stats.ok,
+            "failed": service_stats.failed,
+            "fault_rate": fault_rate,
+            "waves": service_stats.waves,
+            "seconds": round(service_stats.wall_s, 6),
+            "messages": service_stats.messages_total,
+            "messages_per_sec": (
+                round(rate, 1)
+                if (rate := service_stats.messages_per_sec) is not None
+                else None
+            ),
+            "agreements_per_sec": (
+                round(rate, 2)
+                if (rate := service_stats.agreements_per_sec) is not None
+                else None
+            ),
+            "p50_s": round(e2e.p50_s, 6) if e2e else None,
+            "p99_s": round(e2e.p99_s, 6) if e2e else None,
+            "unique_runs": service_stats.unique_runs,
+            "dedup_ratio": (
+                round(ratio, 2)
+                if (ratio := service_stats.dedup_ratio) is not None
+                else None
+            ),
+        }
+
     document = {
         "schema": "repro-bench/1",
         "workers": workers,
         "repeat": repeat,
+        "trials": trials,
         "quick": bool(args.quick),
         "cases": cases,
     }
@@ -580,12 +656,173 @@ def cmd_bench(args: argparse.Namespace) -> int:
         }
         for key, data in cases.items()
     ]
-    print(format_table(rows, title=f"repro bench (workers={workers}, repeat={repeat})"))
+    print(
+        format_table(
+            rows,
+            title=(
+                f"repro bench (workers={workers}, repeat={repeat}, "
+                f"trials={trials})"
+            ),
+        )
+    )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"\nwrote {args.output}")
     return 0
+
+
+def _finish_service_run(report, args: argparse.Namespace, command: str) -> int:
+    """Shared tail of ``loadgen``/``serve``: summary, outputs, exit code."""
+    import json
+
+    from repro.obs.export import write_service_metrics
+
+    stats = report.stats
+    verdicts = report.verdict_counts()
+    rate = stats.agreements_per_sec
+    rate_text = f"{rate:.1f} agreements/sec " if rate is not None else ""
+    print(
+        f"repro {command}: {stats.requests} requests in "
+        f"{stats.wall_s:.3f}s — {rate_text}"
+        f"({stats.ok} ok, {stats.failed} failed, {stats.waves} "
+        f"wave{'s' if stats.waves != 1 else ''})"
+    )
+    for stage, summary in (
+        ("e2e", stats.e2e),
+        ("queue", stats.queue),
+        ("service", stats.service),
+    ):
+        if summary is not None:
+            print(
+                f"latency {stage:<8} p50={summary.p50_s:.6f}s "
+                f"p95={summary.p95_s:.6f}s p99={summary.p99_s:.6f}s "
+                f"max={summary.max_s:.6f}s"
+            )
+    if stats.unique_runs:
+        ratio = stats.dedup_ratio
+        print(
+            f"dedup: {stats.requests} requests / {stats.unique_runs} unique "
+            f"runs ({ratio:.1f}x), {stats.kernel_runs} kernel, "
+            f"{stats.scalar_runs} scalar; digest hits "
+            f"{stats.digest_hits}/{stats.digest_hits + stats.digest_misses}"
+        )
+    print("verdicts: " + ", ".join(f"{k}={v}" for k, v in verdicts.items()))
+    if getattr(args, "json", False):
+        print(json.dumps(stats.to_json_dict(), indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for outcome in report.outcomes:
+                handle.write(json.dumps(outcome.to_json_dict(), sort_keys=True))
+                handle.write("\n")
+        print(f"wrote {len(report.outcomes)} responses to {args.out}")
+    if args.metrics_out:
+        fmt = write_service_metrics(stats, args.metrics_out)
+        print(f"wrote {fmt} metrics to {args.metrics_out}")
+    failures = report.failures()
+    if failures:
+        shown = ", ".join(
+            f"#{o.request_id} {o.algorithm}: {o.verdict}" for o in failures[:5]
+        )
+        print(f"{command}: {len(failures)} failed verdicts ({shown})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """`repro loadgen`: seeded open-loop traffic against the service layer.
+
+    Deterministic in ``(--requests, --rate, --seed, --mix, --fault-rate)``:
+    verdicts are pure functions of request content, never of timing, so
+    the printed verdict multiset is identical across repeats and worker
+    counts — only the latency and throughput figures move.
+    """
+    import json
+
+    from repro.service import DEFAULT_MIX, MixSpecError, Scheduler, generate_schedule
+
+    try:
+        schedule = generate_schedule(
+            requests=args.requests,
+            rate=args.rate,
+            seed=args.seed,
+            mix=args.mix or DEFAULT_MIX,
+            fault_rate=args.fault_rate,
+        )
+    except (MixSpecError, ValueError) as error:
+        print(f"loadgen: {error}", file=sys.stderr)
+        return 2
+
+    if args.emit:
+        with open(args.emit, "w", encoding="utf-8") as handle:
+            for scheduled in schedule:
+                line = scheduled.request.to_json_dict()
+                line["arrival_s"] = round(scheduled.arrival_s, 6)
+                handle.write(json.dumps(line, sort_keys=True))
+                handle.write("\n")
+        print(f"wrote {len(schedule)} requests to {args.emit}")
+        return 0
+
+    scheduler = Scheduler(
+        workers=args.workers,
+        max_stripe=args.max_stripe,
+        telemetry_sample=args.telemetry_sample,
+    )
+    report = scheduler.serve(schedule)
+    return _finish_service_run(report, args, "loadgen")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`repro serve`: replay ``repro-service/1`` JSONL requests from a file.
+
+    Reads one request per line (``-`` for stdin) — the format
+    ``repro loadgen --emit`` writes.  An optional ``arrival_s`` field per
+    line is honoured as the open-loop arrival offset; absent, the request
+    arrives immediately.
+    """
+    import json
+
+    from repro.service import (
+        AgreementRequest,
+        RequestFormatError,
+        ScheduledRequest,
+        Scheduler,
+    )
+
+    source = args.input
+    try:
+        handle = sys.stdin if source == "-" else open(source, encoding="utf-8")
+    except OSError as error:
+        print(f"serve: {error}", file=sys.stderr)
+        return 2
+    schedule: list[ScheduledRequest] = []
+    try:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+                request = AgreementRequest.from_json_dict(data)
+                arrival = float(data.get("arrival_s", 0.0))
+            except (json.JSONDecodeError, RequestFormatError, TypeError) as error:
+                print(f"serve: {source}:{lineno}: {error}", file=sys.stderr)
+                return 2
+            schedule.append(ScheduledRequest(arrival_s=arrival, request=request))
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+    if not schedule:
+        print(f"serve: {source} contains no requests", file=sys.stderr)
+        return 2
+
+    scheduler = Scheduler(
+        workers=args.workers,
+        max_stripe=args.max_stripe,
+        telemetry_sample=args.telemetry_sample,
+    )
+    report = scheduler.serve(schedule)
+    return _finish_service_run(report, args, "serve")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -881,11 +1118,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="smaller basket for CI smoke runs",
     )
     p_bench.add_argument(
+        "--trials", type=int, default=1,
+        help="independent timing trials per case; the median of the "
+        "per-trial minima is reported, which strips whole-trial outliers "
+        "(default: 1)",
+    )
+    p_bench.add_argument(
         "--profile", action="store_true",
         help="run the runner and batch baskets under cProfile and print the "
         "top-20 cumulative hotspots instead of writing the JSON",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    def add_service_args(p: argparse.ArgumentParser) -> None:
+        """Flags shared by the ``loadgen``/``serve`` service pair."""
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="scheduler pool size (default: $REPRO_SWEEP_WORKERS or CPU "
+            "count; 1 serves serially in-process)",
+        )
+        p.add_argument(
+            "--max-stripe", type=int, default=256,
+            help="max requests per worker stripe — the batching stripe of "
+            "the sizing formula (default: 256)",
+        )
+        p.add_argument(
+            "--telemetry-sample", type=int, default=1,
+            help="instrumented representative runs per stripe feeding the "
+            "per-phase latency percentiles; 0 disables (default: 1)",
+        )
+        p.add_argument(
+            "--out", default=None, metavar="FILE",
+            help="write per-request response records as repro-service/1 JSONL",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="FILE",
+            help="export capacity metrics: Prometheus text, or a "
+            "repro-bench/1 JSON with a service:loadgen case when FILE ends "
+            "in .json (gate it with scripts/bench_compare.py "
+            "--min-service-rate)",
+        )
+        p.add_argument(
+            "--json", action="store_true",
+            help="also print the full machine-readable stats document",
+        )
+
+    p_loadgen = sub.add_parser(
+        "loadgen",
+        help="seeded open-loop Poisson traffic against the agreement "
+        "service; prints agreements/sec and latency percentiles",
+    )
+    p_loadgen.add_argument(
+        "--requests", type=int, default=200,
+        help="number of requests to generate (default: 200)",
+    )
+    p_loadgen.add_argument(
+        "--rate", type=float, default=500.0,
+        help="mean offered load in requests/sec, Poisson arrivals "
+        "(default: 500)",
+    )
+    p_loadgen.add_argument(
+        "--seed", type=int, default=0,
+        help="master seed: arrivals, mix choices, values, fault plans and "
+        "coin seeds all derive from it (default: 0)",
+    )
+    p_loadgen.add_argument(
+        "--mix", default=None,
+        help="workload mix 'NAME:k=v,k=v[:WEIGHT]; ...' (n= and t= "
+        "required per clause; default: a batch/kernel/approx blend)",
+    )
+    p_loadgen.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="fraction of exact-family requests carrying a seeded benign "
+        "fault plan (default: 0)",
+    )
+    p_loadgen.add_argument(
+        "--emit", default=None, metavar="FILE",
+        help="write the generated schedule as repro-service/1 JSONL and "
+        "exit without serving (replay it with 'repro serve FILE')",
+    )
+    add_service_args(p_loadgen)
+    p_loadgen.set_defaults(func=cmd_loadgen)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve repro-service/1 JSONL requests from a file or stdin "
+        "(the format 'repro loadgen --emit' writes)",
+    )
+    p_serve.add_argument(
+        "input",
+        help="requests file, one JSON object per line ('-' reads stdin); "
+        "an arrival_s field per line sets the open-loop arrival offset",
+    )
+    add_service_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
 
     p_fuzz = sub.add_parser(
         "fuzz",

@@ -24,7 +24,14 @@ from repro.obs.events import (
     ListSink,
     read_events,
 )
-from repro.obs.export import bench_json, prometheus_metrics, write_metrics
+from repro.obs.export import (
+    bench_json,
+    prometheus_metrics,
+    prometheus_service_metrics,
+    service_bench_json,
+    write_metrics,
+    write_service_metrics,
+)
 from repro.obs.inspect import (
     TraceFormatError,
     TraceSummary,
@@ -54,8 +61,11 @@ __all__ = [
     "TraceSummary",
     "bench_json",
     "prometheus_metrics",
+    "prometheus_service_metrics",
     "read_events",
     "render_summary",
+    "service_bench_json",
     "summarize_trace",
     "write_metrics",
+    "write_service_metrics",
 ]

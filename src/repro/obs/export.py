@@ -12,6 +12,17 @@ Two render targets for one instrumented :class:`~repro.core.runner.RunResult`:
 :func:`write_metrics` picks the format from the file extension
 (``.json`` → bench JSON, anything else → Prometheus text), which is how
 ``repro run --metrics-out`` decides what to write.
+
+The service layer exports through the same two paths:
+:func:`prometheus_service_metrics` renders a finished traffic run's
+:class:`~repro.service.stats.ServiceStats` (request counters, the
+agreements/sec product metric, latency summary families with
+p50/p95/p99 quantile labels, per-phase wall-time summaries, dedup and
+cache counters), and :func:`service_bench_json` produces a
+``repro-bench/1`` document whose ``service:*`` case carries
+``agreements_per_sec`` — the field ``scripts/bench_compare.py
+--min-service-rate`` gates on.  :func:`write_service_metrics` is the
+extension-dispatching writer behind ``repro loadgen --metrics-out``.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # break the cycle: core.runner imports repro.obs.*
     from repro.core.runner import RunResult
+    from repro.service.stats import LatencySummary, ServiceStats
 
 #: Metric name prefix for every exported Prometheus line.
 PROMETHEUS_PREFIX = "repro"
@@ -190,6 +202,193 @@ def bench_json(result: RunResult) -> dict[str, Any]:
             }
         },
     }
+
+
+def _summary_lines(
+    out: list[str], name: str, summary: "LatencySummary", **labels: object
+) -> None:
+    """Emit one Prometheus summary family instance from a LatencySummary."""
+    for quantile, value in (
+        ("0.5", summary.p50_s),
+        ("0.95", summary.p95_s),
+        ("0.99", summary.p99_s),
+    ):
+        out.append(_line(name, round(value, 9), **labels, quantile=quantile))
+    out.append(_line(f"{name}_count", summary.count, **labels))
+    out.append(_line(f"{name}_sum", round(summary.mean_s * summary.count, 9), **labels))
+
+
+def prometheus_service_metrics(stats: "ServiceStats") -> str:
+    """Render a traffic run's :class:`ServiceStats` as Prometheus text.
+
+    Families: request counters by outcome and by algorithm, the
+    agreements/sec / requests/sec / messages/sec gauges, one summary per
+    latency stage (``e2e`` / ``queue`` / ``service``) and per sampled
+    phase, and the amortisation counters (run dedup, digest table, setup
+    cache).
+    """
+    out: list[str] = []
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        out.append(f"# HELP {PROMETHEUS_PREFIX}_{name} {help_text}")
+        out.append(f"# TYPE {PROMETHEUS_PREFIX}_{name} {kind}")
+
+    header("service_requests_total", "counter", "Requests served, by verdict")
+    out.append(_line("service_requests_total", stats.ok, outcome="ok"))
+    out.append(_line("service_requests_total", stats.failed, outcome="failed"))
+    header(
+        "service_algorithm_requests_total",
+        "counter",
+        "Requests served per algorithm, by verdict",
+    )
+    for name in sorted(stats.per_algorithm):
+        counts = stats.per_algorithm[name]
+        out.append(
+            _line(
+                "service_algorithm_requests_total",
+                counts.get("ok", 0),
+                algorithm=name,
+                outcome="ok",
+            )
+        )
+        out.append(
+            _line(
+                "service_algorithm_requests_total",
+                counts.get("requests", 0) - counts.get("ok", 0),
+                algorithm=name,
+                outcome="failed",
+            )
+        )
+    header("service_wall_seconds", "gauge", "Wall-clock duration of the traffic run")
+    out.append(_line("service_wall_seconds", round(stats.wall_s, 9)))
+    header("service_waves_total", "counter", "Dispatch waves the scheduler ran")
+    out.append(_line("service_waves_total", stats.waves))
+    header(
+        "service_agreements_per_second",
+        "gauge",
+        "Verdict-ok agreement instances completed per second",
+    )
+    out.append(
+        _line("service_agreements_per_second", round(stats.agreements_per_sec or 0, 3))
+    )
+    header("service_requests_per_second", "gauge", "Completions per second")
+    out.append(
+        _line("service_requests_per_second", round(stats.requests_per_sec or 0, 3))
+    )
+    header(
+        "service_messages_per_second",
+        "gauge",
+        "Correct-sender messages moved per second",
+    )
+    out.append(
+        _line("service_messages_per_second", round(stats.messages_per_sec or 0, 1))
+    )
+    header(
+        "service_latency_seconds",
+        "summary",
+        "Request latency by stage (e2e, queue, service)",
+    )
+    for stage, summary in (
+        ("e2e", stats.e2e),
+        ("queue", stats.queue),
+        ("service", stats.service),
+    ):
+        if summary is not None:
+            _summary_lines(out, "service_latency_seconds", summary, stage=stage)
+    header(
+        "service_phase_wall_seconds",
+        "summary",
+        "Sampled per-phase wall time of served instances",
+    )
+    for phase in sorted(stats.per_phase):
+        _summary_lines(
+            out, "service_phase_wall_seconds", stats.per_phase[phase], phase=phase
+        )
+    header(
+        "service_runs_total",
+        "counter",
+        "Run executions by amortisation kind (dedup accounting)",
+    )
+    for kind, value in (
+        ("unique", stats.unique_runs),
+        ("replicated", stats.replicated_runs),
+        ("kernel", stats.kernel_runs),
+        ("scalar", stats.scalar_runs),
+    ):
+        out.append(_line("service_runs_total", value, kind=kind))
+    header(
+        "service_digest_lookups_total",
+        "counter",
+        "Shared digest table lookups across all stripes",
+    )
+    out.append(_line("service_digest_lookups_total", stats.digest_hits, result="hit"))
+    out.append(_line("service_digest_lookups_total", stats.digest_misses, result="miss"))
+    header(
+        "service_setup_cache_total",
+        "counter",
+        "Arena/key-registry setup cache lookups across all stripes",
+    )
+    out.append(_line("service_setup_cache_total", stats.setup_hits, result="hit"))
+    out.append(_line("service_setup_cache_total", stats.setup_misses, result="miss"))
+    return "\n".join(out) + "\n"
+
+
+def service_bench_json(
+    stats: "ServiceStats", case: str = "service:loadgen"
+) -> dict[str, Any]:
+    """*stats* as a one-case ``repro-bench/1`` document.
+
+    The case key follows the ``service:*`` convention of ``repro bench``,
+    so the document diffs against a committed baseline and passes the
+    ``--min-service-rate`` floor of ``scripts/bench_compare.py``.
+    """
+    seconds = stats.wall_s
+    e2e = stats.e2e
+
+    def rounded(value: float | None, digits: int) -> float | None:
+        return round(value, digits) if value is not None else None
+
+    return {
+        "schema": "repro-bench/1",
+        "source": "repro loadgen --metrics-out",
+        "workers": 1,
+        "repeat": 1,
+        "quick": False,
+        "cases": {
+            case: {
+                "kind": "service",
+                "requests": stats.requests,
+                "ok": stats.ok,
+                "failed": stats.failed,
+                "waves": stats.waves,
+                "seconds": round(seconds, 6),
+                "messages": stats.messages_total,
+                "messages_per_sec": rounded(stats.messages_per_sec, 1),
+                "agreements_per_sec": rounded(stats.agreements_per_sec, 2),
+                "p50_s": rounded(e2e.p50_s if e2e else None, 6),
+                "p99_s": rounded(e2e.p99_s if e2e else None, 6),
+                "unique_runs": stats.unique_runs,
+                "dedup_ratio": rounded(stats.dedup_ratio, 2),
+            }
+        },
+    }
+
+
+def write_service_metrics(stats: "ServiceStats", path: str | Path) -> str:
+    """Write a traffic run's metrics; the extension picks the format.
+
+    ``.json`` gets :func:`service_bench_json`; anything else gets
+    :func:`prometheus_service_metrics`.  Returns the format written.
+    """
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(service_bench_json(stats), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return "json"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(prometheus_service_metrics(stats))
+    return "prometheus"
 
 
 def write_metrics(result: RunResult, path: str | Path) -> str:

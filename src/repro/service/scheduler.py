@@ -1,0 +1,470 @@
+"""The agreement scheduler: many concurrent instances, one worker pool.
+
+``Scheduler.serve`` takes an open-loop arrival schedule of
+:class:`~repro.service.request.AgreementRequest`\\ s and multiplexes them
+over the self-healing :func:`~repro.analysis.parallel.run_tasks` pool in
+**waves**:
+
+1. wait until at least one scheduled arrival is due (arrivals happen on
+   the wall clock, independent of service progress — open loop);
+2. take everything that has arrived, shard it by
+   :meth:`~repro.service.request.AgreementRequest.config_key` into
+   :class:`ServiceStripe` tasks (at most ``max_stripe`` requests each);
+3. dispatch the stripes across the pool, harvest, and stamp every
+   request in the wave with the wave's dispatch/harvest times.
+
+Inside a stripe the engine reuses the repo's whole amortisation stack:
+
+* **run-class dedup + kernels** — fault-free exact requests go through
+  :func:`repro.core.batch.run_batch`, so a thousand identical requests
+  cost one execution (or one row of a vectorised kernel);
+* **scalar memo** — faulted exact requests dedupe on
+  ``(value, fault plan)``, which fully determines the run;
+* **setup cache** — the per-worker :func:`~repro.service.cache.worker_cache`
+  hands every stripe of a configuration the same arena and
+  :class:`~repro.crypto.signatures.SharedDigestTable`, so signature
+  setup amortises across requests and waves;
+* **family-aware verdicts** — approx / randomized requests run through
+  the scalar runner (with per-request coin seeds) and are judged by
+  :func:`repro.approx.validation.check_run_conditions`; faulted runs are
+  judged crash-tolerantly with the transport's excused set.
+
+Verdicts are deterministic in the request content (never in timing), so
+the same schedule produces the same verdict multiset for any worker
+count — the property ``make serve-smoke`` pins.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analysis.parallel import run_tasks
+from repro.approx.validation import check_run_conditions
+from repro.core.batch import BatchCase, run_batch
+from repro.core.message import UninternableError, intern_key
+from repro.core.runner import run as run_algorithm
+from repro.core.types import Value
+from repro.crypto.signatures import InternedSignatureService
+from repro.service.cache import worker_cache
+from repro.service.request import AgreementRequest, RequestOutcome, ScheduledRequest
+from repro.service.stats import ServiceStats, build_stats
+
+__all__ = ["ServiceStripe", "StripeResult", "Scheduler", "ServiceReport"]
+
+
+@dataclass(slots=True)
+class _CaseOutcome:
+    """One request's result as computed inside a stripe (picklable)."""
+
+    index: int
+    ok: bool
+    verdict: str
+    decided: tuple[Any, ...]
+    messages: int
+    signatures: int
+    phases_used: int
+    replicated: bool = False
+    kernel: bool = False
+    fault_events: int = 0
+    excused: tuple[int, ...] = ()
+
+
+@dataclass(slots=True)
+class StripeResult:
+    """Everything one executed stripe reports back to the scheduler."""
+
+    outcomes: list[_CaseOutcome] = field(default_factory=list)
+    wall_s: float = 0.0
+    unique_runs: int = 0
+    replicated_runs: int = 0
+    kernel_runs: int = 0
+    scalar_runs: int = 0
+    digest_hits: int = 0
+    digest_misses: int = 0
+    setup_hits: int = 0
+    setup_misses: int = 0
+    #: Sampled per-phase wall seconds: ``(phase, seconds)`` pairs from
+    #: instrumented representative runs (the per-phase percentile source).
+    phase_samples: tuple[tuple[int, float], ...] = ()
+
+
+def _verdict_text(report) -> str:
+    """Compact verdict string: ``"ok"`` or the violation summary."""
+    if report.ok:
+        return "ok"
+    return "; ".join(report.violations) or "violation"
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStripe:
+    """One shard of a wave: same-configuration requests, one worker task.
+
+    Picklable by construction (strings, ints and frozen fault plans), so
+    the self-healing pool can ship, retry and re-ship it.  ``cases``
+    holds ``(submission index, value, fault plan, coin seed)`` tuples.
+    """
+
+    algorithm: str
+    n: int
+    t: int
+    params: tuple[tuple[str, Any], ...]
+    cases: tuple[tuple[int, Value, Any, int | None], ...]
+    #: Instrumented representative runs per stripe feeding the per-phase
+    #: latency percentiles (0 disables sampling).
+    telemetry_sample: int = 1
+
+    def run(self) -> StripeResult:
+        """Execute every case, amortising setup, dedup and digests."""
+        started = time.perf_counter()
+        cache = worker_cache()
+        hits0, misses0 = cache.hits, cache.misses
+        algorithm, table = cache.setup((self.algorithm, self.n, self.t, self.params))
+        from repro.algorithms.registry import get
+
+        family = get(self.algorithm).family
+        result = StripeResult()
+        result.setup_hits = cache.hits - hits0
+        result.setup_misses = cache.misses - misses0
+        # The digest table outlives this stripe (it is cached per worker),
+        # so report deltas, not the table's cumulative counters.
+        digest_hits0, digest_misses0 = table.hits, table.misses
+
+        # Partition: fault-free exact cases ride the batch engine (dedup
+        # + kernels); everything else takes the scalar path with a
+        # deterministic-key memo.
+        batchable: list[tuple[int, Value]] = []
+        scalar: list[tuple[int, Value, Any, int | None]] = []
+        for index, value, plan, coin_seed in self.cases:
+            if family == "exact" and plan is None and coin_seed is None:
+                batchable.append((index, value))
+            else:
+                scalar.append((index, value, plan, coin_seed))
+
+        if batchable:
+            batch = run_batch(
+                algorithm, [BatchCase(value=v) for _, v in batchable], table=table
+            )
+            for (index, _), outcome in zip(batchable, batch.outcomes):
+                decided = tuple(
+                    sorted({v for _, v in outcome.decisions}, key=repr)
+                )
+                result.outcomes.append(
+                    _CaseOutcome(
+                        index=index,
+                        ok=outcome.agreement_ok,
+                        verdict="ok" if outcome.agreement_ok else "ba_violation",
+                        decided=decided,
+                        messages=outcome.messages_by_correct,
+                        signatures=outcome.signatures_by_correct,
+                        phases_used=outcome.phases_used,
+                        replicated=outcome.replicated,
+                        kernel=outcome.kernel,
+                    )
+                )
+            stats = batch.stats
+            result.unique_runs += stats.unique_runs
+            result.replicated_runs += stats.replicated_runs
+            result.kernel_runs += stats.kernel_runs
+            result.scalar_runs += stats.scalar_runs
+
+        memo: dict[Any, _CaseOutcome] = {}
+        for index, value, plan, coin_seed in scalar:
+            try:
+                key = (intern_key(value), plan, coin_seed)
+            except (UninternableError, TypeError):
+                key = None
+            cached = memo.get(key) if key is not None else None
+            if cached is not None:
+                outcome = _CaseOutcome(
+                    **{
+                        f: getattr(cached, f)
+                        for f in (
+                            "ok",
+                            "verdict",
+                            "decided",
+                            "messages",
+                            "signatures",
+                            "phases_used",
+                            "fault_events",
+                            "excused",
+                        )
+                    },
+                    index=index,
+                    replicated=True,
+                )
+                result.outcomes.append(outcome)
+                result.replicated_runs += 1
+                continue
+            outcome = self._run_scalar(algorithm, table, index, value, plan, coin_seed)
+            result.unique_runs += 1
+            result.scalar_runs += 1
+            if key is not None:
+                memo[key] = outcome
+            result.outcomes.append(outcome)
+
+        if self.telemetry_sample > 0 and self.cases:
+            result.phase_samples = self._sample_phases(algorithm)
+        result.digest_hits = table.hits - digest_hits0
+        result.digest_misses = table.misses - digest_misses0
+        result.wall_s = time.perf_counter() - started
+        return result
+
+    def _run_scalar(
+        self,
+        algorithm,
+        table,
+        index: int,
+        value: Value,
+        plan,
+        coin_seed: int | None,
+    ) -> _CaseOutcome:
+        """One runner execution with the family's own correctness reading."""
+        transport = None
+        if plan is not None and not plan.is_empty:
+            from repro.transport.faulty import FaultyTransport
+
+            transport = FaultyTransport(plan)
+        coins = None
+        if getattr(algorithm, "uses_coins", False):
+            coins = algorithm.make_coin_source(coin_seed or 0)
+        run_result = run_algorithm(
+            algorithm,
+            value,
+            record_history=False,
+            transport=transport,
+            service=InternedSignatureService(table),
+            coins=coins,
+        )
+        excused: frozenset[int] = frozenset()
+        if run_result.fault_events:
+            from repro.transport import excused_processors
+
+            excused = excused_processors(run_result.fault_events) & run_result.correct
+        report = check_run_conditions(run_result, algorithm, excused=excused)
+        metrics = run_result.metrics
+        decided = tuple(
+            sorted(
+                {
+                    v
+                    for pid, v in run_result.decisions.items()
+                    if pid not in excused
+                },
+                key=repr,
+            )
+        )
+        return _CaseOutcome(
+            index=index,
+            ok=report.ok,
+            verdict=_verdict_text(report),
+            decided=decided,
+            messages=metrics.messages_by_correct,
+            signatures=metrics.signatures_by_correct,
+            phases_used=metrics.last_active_phase,
+            fault_events=len(run_result.fault_events),
+            excused=tuple(sorted(excused)),
+        )
+
+    def _sample_phases(self, algorithm) -> tuple[tuple[int, float], ...]:
+        """Per-phase wall times from instrumented representative runs."""
+        samples: list[tuple[int, float]] = []
+        for index, value, plan, coin_seed in self.cases[: self.telemetry_sample]:
+            if plan is not None and not plan.is_empty:
+                continue  # faulted runs would time the fault, not the phase
+            coins = None
+            if getattr(algorithm, "uses_coins", False):
+                coins = algorithm.make_coin_source(coin_seed or 0)
+            run_result = run_algorithm(
+                algorithm,
+                value,
+                record_history=False,
+                collect_telemetry=True,
+                coins=coins,
+            )
+            telemetry = run_result.telemetry
+            if telemetry is not None:
+                samples.extend(
+                    (timing.phase, timing.wall_s) for timing in telemetry.per_phase
+                )
+        return tuple(samples)
+
+
+@dataclass(slots=True)
+class ServiceReport:
+    """What ``Scheduler.serve`` returns: per-request outcomes + stats."""
+
+    outcomes: list[RequestOutcome]
+    stats: ServiceStats
+
+    def failures(self) -> list[RequestOutcome]:
+        """The outcomes whose verdict is not ``"ok"``."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def verdict_counts(self) -> dict[str, int]:
+        """Multiset of verdict strings (the determinism witness)."""
+        counts: dict[str, int] = {}
+        for outcome in self.outcomes:
+            counts[outcome.verdict] = counts.get(outcome.verdict, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+class Scheduler:
+    """Wave-dispatching front end over the self-healing worker pool.
+
+    Args:
+        workers: pool size per wave (``None``: ``$REPRO_SWEEP_WORKERS``
+            or the CPU count; ``1`` serves serially in-process, which
+            also makes the setup cache traffic-lifetime instead of
+            wave-lifetime).
+        max_stripe: cap on requests per stripe — the batching stripe of
+            the sizing formula (``workers × max_stripe`` requests in
+            flight per wave).
+        telemetry_sample: instrumented representative runs per stripe
+            feeding the per-phase percentiles (0 disables).
+        task_timeout / max_retries: the pool's self-healing knobs, as in
+            :func:`~repro.analysis.parallel.run_tasks`.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        max_stripe: int = 256,
+        telemetry_sample: int = 1,
+        task_timeout: float | None = None,
+        max_retries: int = 2,
+    ) -> None:
+        if max_stripe < 1:
+            raise ValueError(f"max_stripe must be >= 1, got {max_stripe}")
+        self.workers = workers
+        self.max_stripe = max_stripe
+        self.telemetry_sample = telemetry_sample
+        self.task_timeout = task_timeout
+        self.max_retries = max_retries
+
+    def _stripes(
+        self, wave: Sequence[tuple[int, AgreementRequest]]
+    ) -> list[ServiceStripe]:
+        """Shard one wave by configuration, splitting at ``max_stripe``."""
+        shards: dict[tuple, list[tuple[int, Value, Any, int | None]]] = {}
+        for index, request in wave:
+            shards.setdefault(request.config_key(), []).append(
+                (index, request.value, request.fault_plan, request.coin_seed)
+            )
+        stripes: list[ServiceStripe] = []
+        for key in sorted(shards, key=repr):
+            name, n, t, params = key
+            cases = shards[key]
+            for offset in range(0, len(cases), self.max_stripe):
+                stripes.append(
+                    ServiceStripe(
+                        algorithm=name,
+                        n=n,
+                        t=t,
+                        params=params,
+                        cases=tuple(cases[offset : offset + self.max_stripe]),
+                        telemetry_sample=self.telemetry_sample,
+                    )
+                )
+        return stripes
+
+    def serve(
+        self,
+        scheduled: Sequence[ScheduledRequest],
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> ServiceReport:
+        """Serve *scheduled* open-loop; block until every request finished.
+
+        *clock* and *sleep* are injectable for deterministic tests; the
+        defaults are the real wall clock.  Outcomes are returned in
+        submission order regardless of wave or worker assignment.
+        """
+        submissions = list(scheduled)
+        outcomes: list[RequestOutcome | None] = [None] * len(submissions)
+        # Arrival order, stable on submission index for equal offsets.
+        order = sorted(
+            range(len(submissions)), key=lambda i: (submissions[i].arrival_s, i)
+        )
+        aggregates = StripeResult()
+        phase_samples: list[tuple[int, float]] = []
+        waves = 0
+        start = clock()
+        cursor = 0
+        while cursor < len(order):
+            now = clock() - start
+            head = submissions[order[cursor]].arrival_s
+            if head > now:
+                sleep(min(head - now, 0.05))
+                continue
+            wave: list[tuple[int, AgreementRequest]] = []
+            while cursor < len(order):
+                item = submissions[order[cursor]]
+                if item.arrival_s > now:
+                    break
+                wave.append((order[cursor], item.request))
+                cursor += 1
+            dispatch_s = clock() - start
+            stripe_results: list[StripeResult] = run_tasks(
+                self._stripes(wave),
+                workers=self.workers,
+                task_timeout=self.task_timeout,
+                max_retries=self.max_retries,
+            )
+            harvest_s = clock() - start
+            waves += 1
+            for stripe_result in stripe_results:
+                per_request = (
+                    stripe_result.wall_s / len(stripe_result.outcomes)
+                    if stripe_result.outcomes
+                    else 0.0
+                )
+                for case in stripe_result.outcomes:
+                    request = submissions[case.index].request
+                    outcomes[case.index] = RequestOutcome(
+                        request_id=request.request_id,
+                        algorithm=request.algorithm,
+                        ok=case.ok,
+                        verdict=case.verdict,
+                        decided=case.decided,
+                        messages=case.messages,
+                        signatures=case.signatures,
+                        phases_used=case.phases_used,
+                        replicated=case.replicated,
+                        kernel=case.kernel,
+                        arrival_s=submissions[case.index].arrival_s,
+                        start_s=dispatch_s,
+                        finish_s=harvest_s,
+                        stripe_s=per_request,
+                        fault_events=case.fault_events,
+                        excused=case.excused,
+                    )
+                for counter in (
+                    "unique_runs",
+                    "replicated_runs",
+                    "kernel_runs",
+                    "scalar_runs",
+                    "digest_hits",
+                    "digest_misses",
+                    "setup_hits",
+                    "setup_misses",
+                ):
+                    setattr(
+                        aggregates,
+                        counter,
+                        getattr(aggregates, counter) + getattr(stripe_result, counter),
+                    )
+                phase_samples.extend(stripe_result.phase_samples)
+        wall_s = clock() - start
+        finished = [outcome for outcome in outcomes if outcome is not None]
+        assert len(finished) == len(submissions), "every request must complete"
+        stats = build_stats(
+            finished,
+            wall_s=wall_s,
+            waves=waves,
+            aggregates=aggregates,
+            phase_samples=phase_samples,
+        )
+        return ServiceReport(outcomes=finished, stats=stats)

@@ -175,3 +175,80 @@ class TestUpdate:
             [baseline, current, "--update", "--min-batch-speedup", "5"]
         )
         assert code == 1
+
+
+def service_doc(*, rate=50.0, trials=1, with_rate=True, extra_cases=None):
+    """A bench doc with service:* cases and a trials count."""
+    case = {"kind": "service", "seconds": 1.0, "requests": 100}
+    if with_rate:
+        case["agreements_per_sec"] = rate
+    cases = {"service:mixed": dict(case), "service:faulty": dict(case)}
+    cases.update(extra_cases or {})
+    return {
+        "schema": "repro-bench/1",
+        "workers": 1,
+        "repeat": 3,
+        "trials": trials,
+        "quick": False,
+        "cases": cases,
+    }
+
+
+class TestServiceFloor:
+    def test_above_floor_passes(self, capsys):
+        assert bench_compare.check_service_floor(service_doc(rate=50.0), 20.0) == 0
+        assert "service:mixed" in capsys.readouterr().out
+
+    def test_below_floor_fails(self, capsys):
+        assert bench_compare.check_service_floor(service_doc(rate=5.0), 20.0) == 1
+        assert "FLOOR FAIL" in capsys.readouterr().out
+
+    def test_missing_rate_fails_loudly(self, capsys):
+        document = service_doc(with_rate=False)
+        assert bench_compare.check_service_floor(document, 20.0) == 1
+        assert "no agreements_per_sec" in capsys.readouterr().out
+
+    def test_no_service_cases_fails(self, capsys):
+        document = bench_doc({"runner:a": 1.0})
+        assert bench_compare.check_service_floor(document, 20.0) == 1
+        assert "no service:* cases" in capsys.readouterr().out
+
+
+class TestTrials:
+    def test_enough_trials_passes(self, capsys):
+        a, b = service_doc(trials=3), service_doc(trials=3)
+        assert bench_compare.check_trials(a, b, 3) == 0
+        assert "3 timing trial" in capsys.readouterr().out
+
+    def test_too_few_trials_is_exit_2(self, capsys):
+        a, b = service_doc(trials=3), service_doc(trials=1)
+        assert bench_compare.check_trials(a, b, 3) == 2
+        assert "requires --trials 3" in capsys.readouterr().out
+
+    def test_missing_trials_field_defaults_to_one(self):
+        legacy = bench_doc({"runner:a": 1.0})
+        assert bench_compare.check_trials(legacy, legacy, 1) == 0
+        assert bench_compare.check_trials(legacy, legacy, 2) == 2
+
+    def test_differing_counts_are_a_note_not_a_failure(self, capsys):
+        a, b = service_doc(trials=1), service_doc(trials=3)
+        assert bench_compare.check_trials(a, b, 1) == 0
+        assert "trial counts differ" in capsys.readouterr().out
+
+
+class TestServiceFlagsInMain:
+    def test_min_service_rate_flag(self, tmp_path):
+        baseline = write(tmp_path, "base.json", service_doc(rate=50.0))
+        current = write(tmp_path, "curr.json", service_doc(rate=50.0))
+        assert bench_compare.main(
+            [baseline, current, "--min-service-rate", "20"]
+        ) == 0
+        assert bench_compare.main(
+            [baseline, current, "--min-service-rate", "100"]
+        ) == 1
+
+    def test_trials_flag_gates_before_comparison(self, tmp_path, capsys):
+        baseline = write(tmp_path, "base.json", service_doc(trials=1))
+        current = write(tmp_path, "curr.json", service_doc(trials=1))
+        assert bench_compare.main([baseline, current, "--trials", "3"]) == 2
+        assert bench_compare.main([baseline, current, "--trials", "1"]) == 0

@@ -473,3 +473,152 @@ class TestReplayErrorHandling:
         path.write_text('{"schema": "repro-fuzz/1"}', encoding="utf-8")
         assert main(["fuzz", "--replay", str(path)]) == 2
         assert "corrupt corpus file" in capsys.readouterr().err
+
+
+class TestListFamilies:
+    def test_list_shows_the_workload_family(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        header = next(line for line in out.splitlines() if "name" in line)
+        assert "family" in header
+        rows = {
+            line.split()[0]: line.split()[1]
+            for line in out.splitlines()
+            if line and line[0].isalpha() and "name" not in line
+        }
+        assert rows["algorithm-1"] == "exact"
+        assert rows["midpoint-approx"] == "approx"
+        assert rows["filtered-mean-approx"] == "approx"
+        assert rows["ben-or"] == "randomized"
+
+
+class TestBenchTrials:
+    def test_trials_recorded_and_service_cases_present(self, capsys, tmp_path):
+        output = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench", "--quick", "--repeat", "1", "--trials", "2",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        document = json.loads(output.read_text(encoding="utf-8"))
+        assert document["trials"] == 2
+        service_cases = {
+            k: v for k, v in document["cases"].items() if k.startswith("service:")
+        }
+        assert set(service_cases) == {"service:mixed", "service:faulty"}
+        for case in service_cases.values():
+            assert case["kind"] == "service"
+            assert case["failed"] == 0
+            assert case["agreements_per_sec"] > 0
+            assert case["p50_s"] > 0
+            assert case["p99_s"] >= case["p50_s"]
+        assert service_cases["service:faulty"]["fault_rate"] == 0.2
+        assert "trials=2" in capsys.readouterr().out
+
+
+class TestServiceCli:
+    def test_loadgen_summary_and_exit_zero(self, capsys):
+        code = main(
+            [
+                "loadgen", "--requests", "40", "--rate", "5000",
+                "--seed", "7", "--workers", "1", "--fault-rate", "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agreements/sec" in out
+        assert "latency e2e" in out
+        assert "verdicts: ok=40" in out
+
+    def test_loadgen_verdicts_deterministic_across_runs(self, capsys):
+        arguments = [
+            "loadgen", "--requests", "30", "--rate", "5000",
+            "--seed", "11", "--workers", "1", "--fault-rate", "0.3",
+        ]
+        assert main(arguments) == 0
+        first = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("verdicts:")
+        ]
+        assert main(arguments) == 0
+        second = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("verdicts:")
+        ]
+        assert first == second
+
+    def test_loadgen_emit_then_serve_round_trip(self, capsys, tmp_path):
+        emitted = tmp_path / "requests.jsonl"
+        assert main(
+            [
+                "loadgen", "--requests", "20", "--rate", "5000",
+                "--seed", "3", "--emit", str(emitted),
+            ]
+        ) == 0
+        lines = emitted.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 20
+        first = json.loads(lines[0])
+        assert first["schema"] == "repro-service/1"
+        assert "arrival_s" in first
+
+        responses = tmp_path / "responses.jsonl"
+        metrics = tmp_path / "metrics.json"
+        capsys.readouterr()
+        code = main(
+            [
+                "serve", str(emitted), "--workers", "1",
+                "--out", str(responses), "--metrics-out", str(metrics),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro serve: 20 requests" in out
+        response_lines = [
+            json.loads(line)
+            for line in responses.read_text(encoding="utf-8").splitlines()
+        ]
+        assert [r["request_id"] for r in response_lines] == list(range(20))
+        assert all(r["ok"] for r in response_lines)
+        document = json.loads(metrics.read_text(encoding="utf-8"))
+        assert document["schema"] == "repro-bench/1"
+        assert document["cases"]["service:loadgen"]["requests"] == 20
+
+    def test_loadgen_metrics_out_prometheus(self, capsys, tmp_path):
+        metrics = tmp_path / "service.prom"
+        assert main(
+            [
+                "loadgen", "--requests", "10", "--rate", "5000",
+                "--seed", "1", "--workers", "1",
+                "--metrics-out", str(metrics),
+            ]
+        ) == 0
+        text = metrics.read_text(encoding="utf-8")
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert 'repro_service_requests_total{outcome="ok"} 10' in text
+
+    def test_loadgen_bad_mix_exits_2(self, capsys):
+        code = main(
+            ["loadgen", "--requests", "5", "--mix", "no-such-algo:n=4,t=1"]
+        )
+        assert code == 2
+        assert "loadgen:" in capsys.readouterr().err
+
+    def test_serve_missing_file_exits_2(self, capsys):
+        assert main(["serve", "/no/such/requests.jsonl"]) == 2
+        assert "serve:" in capsys.readouterr().err
+
+    def test_serve_malformed_line_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "repro-service/1"}\n', encoding="utf-8")
+        assert main(["serve", str(path)]) == 2
+        assert "missing" in capsys.readouterr().err
+
+    def test_serve_empty_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n\n", encoding="utf-8")
+        assert main(["serve", str(path)]) == 2
+        assert "no requests" in capsys.readouterr().err
